@@ -1,0 +1,41 @@
+// Ablation: fault tolerance overhead as a function of the fault bound k,
+// per policy family.  The paper fixes k in [3,7]; this sweep shows how each
+// policy's FTO scales with k (re-execution linearly through time
+// redundancy, replication through resource pressure, the optimized mix
+// tracking the lower envelope).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/metrics.h"
+#include "opt/baselines.h"
+
+using namespace ftes;
+using namespace ftes::bench;
+
+int main() {
+  std::printf("=== Ablation: FTO vs fault bound k ===\n\n");
+  std::printf("  k    FTO_MXR   FTO_MX    FTO_MR\n");
+
+  const int instances = 4;
+  for (int k = 1; k <= 7; ++k) {
+    std::vector<double> mxr, mx, mr;
+    for (int s = 0; s < instances; ++s) {
+      TaskGenParams params;
+      params.process_count = 25;
+      params.node_count = 4;
+      Rng rng(900 + static_cast<std::uint64_t>(s));
+      const Application app = generate_application(params, rng);
+      const Architecture arch = generate_architecture(params);
+      const FaultModel fm{k};
+      const OptimizeOptions opts = bench_options(static_cast<std::uint64_t>(k * 100 + s));
+      const Time nft = non_ft_reference(app, arch, opts);
+      mxr.push_back(fto_percent(run_mxr(app, arch, fm, opts).wcsl, nft));
+      mx.push_back(fto_percent(run_mx(app, arch, fm, opts).wcsl, nft));
+      mr.push_back(fto_percent(run_mr(app, arch, fm, opts).wcsl, nft));
+    }
+    std::printf("  %d   %7.1f   %7.1f   %7.1f\n", k, mean(mxr), mean(mx),
+                mean(mr));
+  }
+  return 0;
+}

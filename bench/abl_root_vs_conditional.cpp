@@ -1,0 +1,63 @@
+// Ablation: the two ends and the middle of the transparency spectrum.
+//
+//   conditional, nothing frozen  -- best worst-case performance, largest
+//                                   schedule tables (most scenarios
+//                                   distinguished);
+//   conditional, designer frozen -- the paper's regime (Section 3.3);
+//   root schedule                -- everything frozen: one start per
+//                                   activation, maximal fault containment,
+//                                   longest worst case.
+#include <cstdio>
+#include <vector>
+
+#include "core/metrics.h"
+#include "gen/taskgen.h"
+#include "opt/policy_assignment.h"
+#include "sched/cond_scheduler.h"
+#include "sched/root_schedule.h"
+
+using namespace ftes;
+
+int main() {
+  std::printf("=== Ablation: conditional tables vs root schedule ===\n\n");
+  std::printf("  variant                  WCSL(avg)  entries(avg)\n");
+
+  const int instances = 4;
+  std::vector<double> wcsl_open, wcsl_frozen, wcsl_root;
+  std::vector<double> size_open, size_frozen, size_root;
+  for (int s = 0; s < instances; ++s) {
+    TaskGenParams params;
+    params.process_count = 8;
+    params.node_count = 2;
+    params.frozen_process_fraction = 0.4;
+    params.frozen_message_fraction = 0.4;
+    Rng rng(4242 + static_cast<std::uint64_t>(s));
+    const Application app = generate_application(params, rng);
+    const Architecture arch = generate_architecture(params);
+    const FaultModel fm{2};
+    const PolicyAssignment pa =
+        greedy_initial(app, arch, fm, PolicySpace::kReexecutionOnly, 1);
+
+    CondScheduleOptions open_opts;
+    open_opts.respect_transparency = false;
+    const CondScheduleResult open =
+        conditional_schedule(app, arch, pa, fm, open_opts);
+    const CondScheduleResult frozen = conditional_schedule(app, arch, pa, fm);
+    const RootSchedule root = build_root_schedule(app, arch, pa, fm);
+
+    wcsl_open.push_back(static_cast<double>(open.wcsl));
+    wcsl_frozen.push_back(static_cast<double>(frozen.wcsl));
+    wcsl_root.push_back(static_cast<double>(root.wcsl));
+    size_open.push_back(static_cast<double>(open.tables.total_entries()));
+    size_frozen.push_back(static_cast<double>(frozen.tables.total_entries()));
+    size_root.push_back(static_cast<double>(root.total_entries()));
+  }
+  std::printf("  conditional, 0%% frozen   %9.1f  %9.1f\n", mean(wcsl_open),
+              mean(size_open));
+  std::printf("  conditional, 40%% frozen  %9.1f  %9.1f\n", mean(wcsl_frozen),
+              mean(size_frozen));
+  std::printf("  root (100%% frozen)       %9.1f  %9.1f\n", mean(wcsl_root),
+              mean(size_root));
+  std::printf("\n(transparency: shorter tables, longer worst case)\n");
+  return 0;
+}

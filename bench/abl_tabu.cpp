@@ -1,0 +1,40 @@
+// Ablation: solution quality vs tabu-search budget (the design choice
+// behind DESIGN.md's "hundreds of objective evaluations per instance").
+// Reports the average WCSL of MXR normalized to the greedy initial solution
+// for increasing iteration budgets.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/metrics.h"
+#include "sched/wcsl.h"
+
+using namespace ftes;
+using namespace ftes::bench;
+
+int main() {
+  std::printf("=== Ablation: tabu-search budget vs solution quality ===\n\n");
+  std::printf("  iterations   WCSL/greedy(avg)\n");
+
+  const int instances = 4;
+  const std::vector<int> budgets{0, 20, 40, 80, 160};
+  for (int budget : budgets) {
+    std::vector<double> ratios;
+    for (int s = 0; s < instances; ++s) {
+      const Instance inst = make_instance(30, 3000 + static_cast<std::uint64_t>(s));
+      const FaultModel fm{inst.k};
+      OptimizeOptions opts = bench_options(inst.seed);
+      opts.iterations = budget;
+      const PolicyAssignment greedy = greedy_initial(
+          inst.app, inst.arch, fm, PolicySpace::kFull, opts.max_checkpoints);
+      const double greedy_wcsl = static_cast<double>(
+          evaluate_wcsl(inst.app, inst.arch, greedy, fm).makespan);
+      const OptimizeResult r =
+          optimize_from(inst.app, inst.arch, fm, opts, greedy);
+      ratios.push_back(static_cast<double>(r.wcsl) / greedy_wcsl);
+    }
+    std::printf("  %10d   %10.3f\n", budget, mean(ratios));
+  }
+  std::printf("\n(1.0 = greedy; lower is better; returns diminish)\n");
+  return 0;
+}

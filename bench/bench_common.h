@@ -1,0 +1,43 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+
+#include "gen/taskgen.h"
+#include "opt/policy_assignment.h"
+
+namespace ftes::bench {
+
+/// One experimental instance drawn with the paper's parameter ranges
+/// (Section 6: 20-100 processes, 2-6 nodes, k = 3-7).
+struct Instance {
+  Application app;
+  Architecture arch;
+  int k = 3;
+  std::uint64_t seed = 0;
+};
+
+inline Instance make_instance(int processes, std::uint64_t seed) {
+  TaskGenParams params;
+  params.process_count = processes;
+  Rng seeder(seed);
+  params.node_count = static_cast<int>(seeder.uniform_int(2, 6));
+  Instance inst;
+  inst.k = static_cast<int>(seeder.uniform_int(3, 7));
+  inst.seed = seed;
+  inst.app = generate_application(params, seeder);
+  inst.arch = generate_architecture(params);
+  return inst;
+}
+
+/// Shared tabu budget for all approaches (fairness of Fig. 7).
+inline OptimizeOptions bench_options(std::uint64_t seed) {
+  OptimizeOptions opts;
+  opts.iterations = 80;
+  opts.neighborhood = 12;
+  opts.seed = seed;
+  return opts;
+}
+
+}  // namespace ftes::bench

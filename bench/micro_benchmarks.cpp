@@ -1,0 +1,112 @@
+// google-benchmark microbenches for the library's hot paths: the WCSL DP
+// (called tens of thousands of times by the optimizers), the list
+// scheduler, the FT-CPG construction, the conditional scheduler, the
+// recovery algebra and the task-graph generator.
+#include <benchmark/benchmark.h>
+
+#include "fault/recovery.h"
+#include "ftcpg/builder.h"
+#include "gen/taskgen.h"
+#include "opt/policy_assignment.h"
+#include "sched/cond_scheduler.h"
+#include "sched/wcsl.h"
+
+namespace {
+
+using namespace ftes;
+
+struct Setup {
+  Application app;
+  Architecture arch;
+  PolicyAssignment assignment;
+  FaultModel model;
+};
+
+Setup make_setup(int processes, int nodes, int k) {
+  TaskGenParams params;
+  params.process_count = processes;
+  params.node_count = nodes;
+  Rng rng(1234);
+  Setup s{generate_application(params, rng), generate_architecture(params),
+          PolicyAssignment{}, FaultModel{k}};
+  s.assignment = greedy_initial(s.app, s.arch, s.model,
+                                PolicySpace::kCheckpointingOnly, 8);
+  return s;
+}
+
+void BM_RecoveryAlgebra(benchmark::State& state) {
+  const RecoveryParams p{60, 10, 10, 5};
+  for (auto _ : state) {
+    for (int n = 1; n <= 8; ++n) {
+      benchmark::DoNotOptimize(checkpointed_exec_time(p, n, 3));
+    }
+  }
+}
+BENCHMARK(BM_RecoveryAlgebra);
+
+void BM_LocalOptCheckpoints(benchmark::State& state) {
+  const RecoveryParams p{60, 10, 10, 5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimal_checkpoints_local(p, 4, 64));
+  }
+}
+BENCHMARK(BM_LocalOptCheckpoints);
+
+void BM_ListSchedule(benchmark::State& state) {
+  const Setup s = make_setup(static_cast<int>(state.range(0)), 4, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list_schedule(s.app, s.arch, s.assignment));
+  }
+}
+BENCHMARK(BM_ListSchedule)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_WcslDp(benchmark::State& state) {
+  const Setup s = make_setup(static_cast<int>(state.range(0)), 4, 5);
+  const ListSchedule sched = list_schedule(s.app, s.arch, s.assignment);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        worst_case_schedule_length(s.app, s.arch, s.assignment, s.model, sched));
+  }
+}
+BENCHMARK(BM_WcslDp)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_EvaluateWcsl(benchmark::State& state) {
+  const Setup s = make_setup(static_cast<int>(state.range(0)), 4, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_wcsl(s.app, s.arch, s.assignment, s.model));
+  }
+}
+BENCHMARK(BM_EvaluateWcsl)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_FtcpgBuild(benchmark::State& state) {
+  const Setup s = make_setup(static_cast<int>(state.range(0)), 2,
+                             static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_ftcpg(s.app, s.assignment, s.model));
+  }
+}
+BENCHMARK(BM_FtcpgBuild)->Args({6, 1})->Args({6, 2})->Args({10, 2});
+
+void BM_ConditionalSchedule(benchmark::State& state) {
+  const Setup s = make_setup(static_cast<int>(state.range(0)), 2, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        conditional_schedule(s.app, s.arch, s.assignment, s.model));
+  }
+}
+BENCHMARK(BM_ConditionalSchedule)->Arg(6)->Arg(8);
+
+void BM_TaskGen(benchmark::State& state) {
+  TaskGenParams params;
+  params.process_count = static_cast<int>(state.range(0));
+  params.node_count = 4;
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_application(params, rng));
+  }
+}
+BENCHMARK(BM_TaskGen)->Arg(20)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Reproduces the paper's Fig. 1: rollback recovery with checkpointing for
+// process P1 with C1 = 60 ms, alpha = 10 ms, mu = 10 ms, chi = 5 ms.
+//
+// Prints the fault-free two-checkpoint timeline (Fig. 1b) and the timeline
+// with one fault (Fig. 1c; with equidistant checkpoints every segment costs
+// the same to re-execute, so the library places faults on the first
+// segment), plus the checkpoint-count trade-off table the algebra implies.
+#include <cstdio>
+
+#include "fault/recovery.h"
+
+using namespace ftes;
+
+namespace {
+
+void timeline(const char* title, const RecoveryParams& p, int n, int faults) {
+  std::printf("%s\n", title);
+  const Time seg = segment_length(p.wcet, n);
+  Time at = 0;
+  // Faults strike the first segment (worst-case-equivalent convention).
+  for (int f = 1; f <= faults; ++f) {
+    std::printf("  %3lld ms  P1/1 segment 1 (attempt %d) ... FAULT\n",
+                static_cast<long long>(at), f);
+    at += seg;
+    std::printf("  %3lld ms  error detection (alpha = %lld)\n",
+                static_cast<long long>(at), static_cast<long long>(p.alpha));
+    at += p.alpha;
+    std::printf("  %3lld ms  restore checkpoint (mu = %lld)\n",
+                static_cast<long long>(at), static_cast<long long>(p.mu));
+    at += p.mu;
+  }
+  for (int s = 1; s <= n; ++s) {
+    std::printf("  %3lld ms  execution segment %d/%d (%lld ms)\n",
+                static_cast<long long>(at), s, n,
+                static_cast<long long>(seg));
+    at += (s == n) ? p.wcet - seg * (n - 1) : seg;
+    std::printf("  %3lld ms  save checkpoint (chi = %lld)\n",
+                static_cast<long long>(at), static_cast<long long>(p.chi));
+    at += p.chi;
+  }
+  std::printf("  total: %lld ms (algebra: %lld ms)\n\n",
+              static_cast<long long>(at),
+              static_cast<long long>(checkpointed_exec_time(p, n, faults)));
+}
+
+}  // namespace
+
+int main() {
+  const RecoveryParams p{60, 10, 10, 5};  // Fig. 1a
+  std::printf("=== Fig. 1: rollback recovery with checkpointing ===\n");
+  std::printf("P1: C = %lld, alpha = %lld, mu = %lld, chi = %lld (ms)\n\n",
+              static_cast<long long>(p.wcet), static_cast<long long>(p.alpha),
+              static_cast<long long>(p.mu), static_cast<long long>(p.chi));
+
+  timeline("Fig. 1b -- two checkpoints, no fault:", p, 2, 0);
+  timeline("Fig. 1c -- two checkpoints, one fault:", p, 2, 1);
+
+  std::printf("Checkpoint-count trade-off, k faults to tolerate:\n");
+  std::printf("  n   E(n,0)  E(n,1)  E(n,2)  E(n,3)\n");
+  for (int n = 1; n <= 6; ++n) {
+    std::printf("  %d   %5lld   %5lld   %5lld   %5lld\n", n,
+                static_cast<long long>(checkpointed_exec_time(p, n, 0)),
+                static_cast<long long>(checkpointed_exec_time(p, n, 1)),
+                static_cast<long long>(checkpointed_exec_time(p, n, 2)),
+                static_cast<long long>(checkpointed_exec_time(p, n, 3)));
+  }
+  for (int k = 1; k <= 3; ++k) {
+    std::printf("locally optimal n for k = %d: %d ([27])\n", k,
+                optimal_checkpoints_local(p, k));
+  }
+  return 0;
+}

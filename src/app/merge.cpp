@@ -1,0 +1,69 @@
+#include "app/merge.h"
+
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace ftes {
+
+Time lcm_period(const std::vector<Time>& periods) {
+  if (periods.empty()) throw std::invalid_argument("no periods");
+  Time result = 1;
+  for (Time t : periods) {
+    if (t <= 0) throw std::invalid_argument("period must be > 0");
+    const Time g = std::gcd(result, t);
+    const Time factor = t / g;
+    if (result > kTimeInfinity / factor) {
+      throw std::overflow_error("hyperperiod overflow");
+    }
+    result *= factor;
+  }
+  return result;
+}
+
+Application merge(const std::vector<PeriodicApplication>& apps) {
+  std::vector<Time> periods;
+  periods.reserve(apps.size());
+  for (const PeriodicApplication& a : apps) periods.push_back(a.period);
+  const Time hyper = lcm_period(periods);
+
+  Application merged;
+  merged.set_period(hyper);
+  merged.set_deadline(hyper);
+
+  for (const PeriodicApplication& a : apps) {
+    const Time instances = hyper / a.period;
+    for (Time j = 0; j < instances; ++j) {
+      const std::string suffix = j == 0 ? "" : "#" + std::to_string(j);
+      const Time offset = j * a.period;
+      // Map original ProcessId -> merged ProcessId for this instance.
+      std::vector<ProcessId> remap;
+      remap.reserve(a.graph.processes().size());
+      for (const Process& p : a.graph.processes()) {
+        Process copy = p;
+        copy.name += suffix;
+        copy.release = p.release + offset;
+        if (copy.local_deadline) {
+          *copy.local_deadline += offset;
+        } else if (a.graph.deadline() < kTimeInfinity &&
+                   a.graph.outputs(ProcessId{static_cast<std::int32_t>(
+                                       remap.size())})
+                       .empty()) {
+          // Sink of an application with its own deadline: inherit it.
+          copy.local_deadline = offset + a.graph.deadline();
+        }
+        remap.push_back(merged.add_process(std::move(copy)));
+      }
+      for (const Message& m : a.graph.messages()) {
+        Message copy = m;
+        copy.name += suffix;
+        copy.src = remap[static_cast<std::size_t>(m.src.get())];
+        copy.dst = remap[static_cast<std::size_t>(m.dst.get())];
+        merged.add_message(std::move(copy));
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace ftes

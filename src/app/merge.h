@@ -1,0 +1,31 @@
+// Merging of several periodic applications A_k into the single virtual
+// application A executed with period T = lcm(T_k), as in DATE'08 Section 4.
+//
+// Each application graph G_k is instantiated T/T_k times; instance j of G_k
+// gets release offset j*T_k and (if G_k carries a deadline D_k <= T_k) the
+// local deadline j*T_k + D_k on its sink processes.  Process and message
+// names are suffixed with "#j" for j > 0 so schedule tables stay readable.
+#pragma once
+
+#include <vector>
+
+#include "app/application.h"
+
+namespace ftes {
+
+/// One input to the merge: a graph plus its period.  The application's own
+/// deadline (if set, i.e. < kTimeInfinity) becomes a local deadline of its
+/// sink processes in every instance.
+struct PeriodicApplication {
+  Application graph;
+  Time period = 0;
+};
+
+/// Least common multiple with overflow guard (throws std::overflow_error).
+[[nodiscard]] Time lcm_period(const std::vector<Time>& periods);
+
+/// Merges the given periodic applications into one virtual application with
+/// period T = lcm of all periods; the global deadline of the result is T.
+[[nodiscard]] Application merge(const std::vector<PeriodicApplication>& apps);
+
+}  // namespace ftes

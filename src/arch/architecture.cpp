@@ -1,0 +1,35 @@
+#include "arch/architecture.h"
+
+#include <stdexcept>
+
+namespace ftes {
+
+Architecture Architecture::homogeneous(int count, Time slot_length) {
+  Architecture arch;
+  for (int i = 0; i < count; ++i) {
+    arch.add_node("N" + std::to_string(i + 1));
+  }
+  arch.set_bus(TdmaBus::uniform(count, slot_length));
+  return arch;
+}
+
+NodeId Architecture::add_node(std::string name) {
+  nodes_.push_back(HwNode{std::move(name)});
+  return NodeId{static_cast<std::int32_t>(nodes_.size() - 1)};
+}
+
+const HwNode& Architecture::node(NodeId id) const {
+  if (!id.valid() || id.get() >= node_count()) {
+    throw std::out_of_range("invalid NodeId");
+  }
+  return nodes_[static_cast<std::size_t>(id.get())];
+}
+
+std::vector<NodeId> Architecture::node_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (int i = 0; i < node_count(); ++i) ids.push_back(NodeId{i});
+  return ids;
+}
+
+}  // namespace ftes

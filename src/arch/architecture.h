@@ -1,0 +1,47 @@
+// Distributed hardware architecture of DATE'08 Section 2: a set of
+// computation nodes sharing one broadcast TDMA bus.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/tdma_bus.h"
+#include "util/time_types.h"
+
+namespace ftes {
+
+/// A computation node: CPU + communication controller.  WCETs are specified
+/// per (process, node) in the application model, so the node itself only
+/// carries identity and bookkeeping attributes.
+struct HwNode {
+  std::string name;
+};
+
+class Architecture {
+ public:
+  Architecture() = default;
+
+  /// Convenience: `count` nodes named N1..Ncount plus a uniform TDMA bus
+  /// with one `slot_length`-tick slot per node.
+  static Architecture homogeneous(int count, Time slot_length);
+
+  NodeId add_node(std::string name);
+  void set_bus(TdmaBus bus) { bus_ = std::move(bus); }
+
+  [[nodiscard]] const std::vector<HwNode>& nodes() const { return nodes_; }
+  [[nodiscard]] const HwNode& node(NodeId id) const;
+  [[nodiscard]] int node_count() const {
+    return static_cast<int>(nodes_.size());
+  }
+  [[nodiscard]] const TdmaBus& bus() const { return bus_; }
+  [[nodiscard]] TdmaBus& bus() { return bus_; }
+
+  /// All node ids, in index order (handy for range-for in optimizers).
+  [[nodiscard]] std::vector<NodeId> node_ids() const;
+
+ private:
+  std::vector<HwNode> nodes_;
+  TdmaBus bus_;
+};
+
+}  // namespace ftes

@@ -1,0 +1,97 @@
+#include "arch/tdma_bus.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ftes {
+
+TdmaBus TdmaBus::uniform(int node_count, Time slot_length) {
+  if (node_count <= 0) throw std::invalid_argument("bus needs >= 1 node");
+  if (slot_length <= 0) throw std::invalid_argument("slot length must be > 0");
+  std::vector<TdmaSlot> slots;
+  slots.reserve(static_cast<std::size_t>(node_count));
+  for (int i = 0; i < node_count; ++i) {
+    slots.push_back(TdmaSlot{NodeId{i}, slot_length});
+  }
+  return from_slots(std::move(slots));
+}
+
+TdmaBus TdmaBus::from_slots(std::vector<TdmaSlot> slots) {
+  if (slots.empty()) throw std::invalid_argument("empty TDMA round");
+  TdmaBus bus;
+  bus.slots_ = std::move(slots);
+  bus.offsets_.reserve(bus.slots_.size());
+  Time at = 0;
+  for (const TdmaSlot& s : bus.slots_) {
+    if (s.length <= 0) throw std::invalid_argument("slot length must be > 0");
+    if (!s.owner.valid()) throw std::invalid_argument("slot without owner");
+    bus.offsets_.push_back(at);
+    at += s.length;
+  }
+  bus.round_length_ = at;
+  return bus;
+}
+
+int TdmaBus::frames_needed(std::int64_t size) const {
+  assert(slot_payload_ > 0);
+  if (size <= 0) return 1;  // condition values and empty payloads: one frame
+  return static_cast<int>((size + slot_payload_ - 1) / slot_payload_);
+}
+
+Time TdmaBus::slot_offset(std::size_t slot_index) const {
+  assert(slot_index < offsets_.size());
+  return offsets_[slot_index];
+}
+
+Time TdmaBus::next_slot_start(NodeId sender, Time ready) const {
+  assert(round_length_ > 0);
+  const Time round_begin = (ready / round_length_) * round_length_;
+  // Scan this round and the next; the sender owns at least one slot per
+  // round in every valid configuration, otherwise it simply cannot send.
+  for (int round = 0; round < 2; ++round) {
+    const Time base = round_begin + round * round_length_;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].owner != sender) continue;
+      const Time start = base + offsets_[i];
+      if (start >= ready) return start;
+    }
+  }
+  throw std::logic_error("sender owns no TDMA slot");
+}
+
+Time TdmaBus::transmission_finish(NodeId sender, Time ready,
+                                  std::int64_t size) const {
+  const int frames = frames_needed(size);
+  Time at = ready;
+  Time finish = ready;
+  for (int f = 0; f < frames; ++f) {
+    const Time start = next_slot_start(sender, at);
+    // Find the slot we started in to know its length.
+    const Time in_round = start % round_length_;
+    Time slot_len = 0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (offsets_[i] == in_round && slots_[i].owner == sender) {
+        slot_len = slots_[i].length;
+        break;
+      }
+    }
+    assert(slot_len > 0);
+    finish = start + slot_len;
+    at = finish;
+  }
+  return finish;
+}
+
+Time TdmaBus::worst_case_duration(NodeId sender, std::int64_t size) const {
+  // Worst case: readiness occurs just after the sender's slot began, so we
+  // wait almost a full round, then occupy `frames` rounds' worth of slots.
+  Time slot_len = 0;
+  for (const TdmaSlot& s : slots_) {
+    if (s.owner == sender) slot_len = s.length;
+  }
+  if (slot_len == 0) throw std::logic_error("sender owns no TDMA slot");
+  const int frames = frames_needed(size);
+  return round_length_ + (frames - 1) * round_length_ + slot_len;
+}
+
+}  // namespace ftes

@@ -1,0 +1,25 @@
+#include "core/metrics.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace ftes {
+
+double fto_percent(Time ft_wcsl, Time nft_length) {
+  if (nft_length <= 0) throw std::invalid_argument("nft length must be > 0");
+  return 100.0 * static_cast<double>(ft_wcsl - nft_length) /
+         static_cast<double>(nft_length);
+}
+
+double percent_deviation(double value, double baseline) {
+  if (baseline <= 0) throw std::invalid_argument("baseline must be > 0");
+  return 100.0 * (value - baseline) / baseline;
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+}  // namespace ftes

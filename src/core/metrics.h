@@ -1,0 +1,26 @@
+// Evaluation metrics of Section 6.
+//
+// FTO (fault tolerance overhead): percentage increase of the schedule
+// length due to fault tolerance, FTO = (WCSL_ft - L_nft) / L_nft * 100,
+// where L_nft is the schedule length of the same mapper/scheduler with
+// fault tolerance ignored.  Figs. 7 and 8 report the *average percentage
+// deviation* of an approach's FTO from a baseline's FTO.
+#pragma once
+
+#include <vector>
+
+#include "util/time_types.h"
+
+namespace ftes {
+
+/// FTO in percent.  Requires nft > 0.
+[[nodiscard]] double fto_percent(Time ft_wcsl, Time nft_length);
+
+/// Percentage deviation of `value` from `baseline` (positive == worse when
+/// both are overheads).  Requires baseline > 0.
+[[nodiscard]] double percent_deviation(double value, double baseline);
+
+/// Arithmetic mean; 0 for an empty sample.
+[[nodiscard]] double mean(const std::vector<double>& xs);
+
+}  // namespace ftes

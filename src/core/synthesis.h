@@ -1,0 +1,56 @@
+// Top-level synthesis API: the paper's problem formulation of Section 6.
+//
+// Given an application A (Section 4), an architecture N + TDMA bus B
+// (Section 2) and the fault bound k (Section 2), find a configuration
+//
+//     psi = <F, M, S>
+//
+// with F = <P, Q, R, X> the fault-tolerance policy assignment, M the
+// mapping of every copy, and S the set of quasi-static schedule tables,
+// such that the k faults are tolerated, transparency is honoured, and the
+// deadlines hold.
+//
+// This facade chains the library's stages: tabu-search policy assignment +
+// mapping (src/opt), global checkpoint refinement (src/opt), and, when the
+// scenario space allows it, conditional scheduling into schedule tables
+// (src/sched).  Each stage is available separately for tooling.
+#pragma once
+
+#include <optional>
+
+#include "app/application.h"
+#include "arch/architecture.h"
+#include "fault/fault_model.h"
+#include "fault/policy.h"
+#include "opt/checkpoint_opt.h"
+#include "opt/policy_assignment.h"
+#include "sched/cond_scheduler.h"
+#include "sched/wcsl.h"
+
+namespace ftes {
+
+struct SynthesisOptions {
+  FaultModel fault_model;
+  OptimizeOptions optimize;
+  CondScheduleOptions schedule;
+  /// Refine checkpoint counts globally after the tabu search.
+  bool refine_checkpoints = true;
+  /// Generate schedule tables (exponential in k; skip for large designs and
+  /// use the WCSL bound only).
+  bool build_schedule_tables = true;
+};
+
+struct SynthesisResult {
+  PolicyAssignment assignment;        ///< F and M
+  WcslResult wcsl;                    ///< analytic worst case
+  std::optional<CondScheduleResult> schedule;  ///< S (tables), if built
+  bool schedulable = false;           ///< deadlines hold in the worst case
+  int evaluations = 0;                ///< objective evaluations spent
+};
+
+/// End-to-end synthesis.  Throws std::invalid_argument on model errors.
+[[nodiscard]] SynthesisResult synthesize(const Application& app,
+                                         const Architecture& arch,
+                                         const SynthesisOptions& options);
+
+}  // namespace ftes

@@ -1,0 +1,3 @@
+// fault_model.h is header-only; this TU exists so the build exercises the
+// header under the library's warning flags.
+#include "fault/fault_model.h"

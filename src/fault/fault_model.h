@@ -1,0 +1,19 @@
+// Fault model of DATE'08 Section 2: at most k transient faults may occur
+// anywhere in the system during one operation cycle of the application.
+// k may exceed the number of processors, several faults may hit the same
+// processor, and several processors may be hit simultaneously.
+#pragma once
+
+#include <stdexcept>
+
+namespace ftes {
+
+struct FaultModel {
+  int k = 1;  ///< maximum transient faults per operation cycle
+
+  void validate() const {
+    if (k < 0) throw std::invalid_argument("fault count k must be >= 0");
+  }
+};
+
+}  // namespace ftes

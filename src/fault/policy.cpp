@@ -1,0 +1,151 @@
+#include "fault/policy.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ftes {
+
+const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kCheckpointing: return "Checkpointing";
+    case PolicyKind::kReplication: return "Replication";
+    case PolicyKind::kReplicationAndCheckpointing:
+      return "Replication&Checkpointing";
+  }
+  return "?";
+}
+
+int ProcessPlan::total_recoveries() const {
+  int sum = 0;
+  for (const CopyPlan& c : copies) sum += c.recoveries;
+  return sum;
+}
+
+bool ProcessPlan::tolerates(int k) const {
+  return copy_count() + total_recoveries() >= k + 1;
+}
+
+void PolicyAssignment::validate(const Application& app,
+                                const FaultModel& model) const {
+  model.validate();
+  if (process_count() != app.process_count()) {
+    throw std::invalid_argument("policy assignment size mismatch");
+  }
+  for (int i = 0; i < process_count(); ++i) {
+    const ProcessId pid{i};
+    const Process& proc = app.process(pid);
+    const ProcessPlan& pp = plan(pid);
+    if (pp.copies.empty()) {
+      throw std::invalid_argument("process '" + proc.name + "' has no copies");
+    }
+    if (!pp.tolerates(model.k)) {
+      throw std::invalid_argument("process '" + proc.name +
+                                  "' does not tolerate k faults");
+    }
+    // Note: two copies *may* share a node -- transient faults strike
+    // executions, not nodes, so co-located replicas still tolerate them
+    // (they merely serialize and lose the spatial-parallelism benefit).
+    for (const CopyPlan& c : pp.copies) {
+      if (!c.node.valid()) {
+        throw std::invalid_argument("process '" + proc.name +
+                                    "' has an unmapped copy");
+      }
+      if (!proc.can_run_on(c.node)) {
+        throw std::invalid_argument("process '" + proc.name +
+                                    "' copy mapped to restricted node");
+      }
+      if (c.checkpoints < 0 || c.recoveries < 0) {
+        throw std::invalid_argument("negative checkpoint/recovery count");
+      }
+      if (c.recoveries > 0 && c.checkpoints < 1) {
+        throw std::invalid_argument("process '" + proc.name +
+                                    "' recovers without a checkpoint");
+      }
+    }
+    if (proc.fixed_mapping && pp.copies[0].node != *proc.fixed_mapping) {
+      throw std::invalid_argument("process '" + proc.name +
+                                  "' violates its designer-fixed mapping");
+    }
+    if (proc.fixed_policy && pp.kind != *proc.fixed_policy) {
+      throw std::invalid_argument("process '" + proc.name +
+                                  "' violates its designer-fixed policy");
+    }
+    // Kind consistency with Q, mirroring Section 4's definition of Q.
+    switch (pp.kind) {
+      case PolicyKind::kCheckpointing:
+        if (pp.replica_count() != 0) {
+          throw std::invalid_argument("checkpointing plan with replicas");
+        }
+        break;
+      case PolicyKind::kReplication:
+        if (pp.replica_count() != model.k) {
+          throw std::invalid_argument("replication plan must have Q = k");
+        }
+        break;
+      case PolicyKind::kReplicationAndCheckpointing:
+        if (pp.replica_count() < 1 || pp.replica_count() >= model.k) {
+          throw std::invalid_argument("hybrid plan needs 0 < Q < k");
+        }
+        break;
+    }
+  }
+}
+
+std::string PolicyAssignment::summary(const Application& app) const {
+  std::ostringstream out;
+  for (int i = 0; i < process_count(); ++i) {
+    const ProcessId pid{i};
+    const ProcessPlan& pp = plan(pid);
+    out << app.process(pid).name << ": " << to_string(pp.kind);
+    for (const CopyPlan& c : pp.copies) {
+      out << " [N" << (c.node.valid() ? std::to_string(c.node.get() + 1) : "?")
+          << " X=" << c.checkpoints << " R=" << c.recoveries << "]";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+ProcessPlan make_checkpointing_plan(int k, int checkpoints) {
+  if (checkpoints < 1) throw std::invalid_argument("checkpoints must be >= 1");
+  ProcessPlan plan;
+  plan.kind = PolicyKind::kCheckpointing;
+  CopyPlan copy;
+  copy.checkpoints = checkpoints;
+  copy.recoveries = k;
+  plan.copies.push_back(copy);
+  return plan;
+}
+
+ProcessPlan make_replication_plan(int k) {
+  ProcessPlan plan;
+  plan.kind = PolicyKind::kReplication;
+  plan.copies.assign(static_cast<std::size_t>(k) + 1, CopyPlan{});
+  return plan;
+}
+
+ProcessPlan make_hybrid_plan(int k, int extra_replicas, int checkpoints) {
+  if (extra_replicas < 1 || extra_replicas >= k) {
+    throw std::invalid_argument("hybrid plan needs 0 < Q < k");
+  }
+  if (checkpoints < 1) throw std::invalid_argument("checkpoints must be >= 1");
+  ProcessPlan plan;
+  plan.kind = PolicyKind::kReplicationAndCheckpointing;
+  plan.copies.assign(static_cast<std::size_t>(extra_replicas) + 1, CopyPlan{});
+  // Need copies + recoveries >= k+1  =>  recoveries >= k - extra_replicas.
+  int needed = k - extra_replicas;
+  plan.copies[0].checkpoints = checkpoints;
+  plan.copies[0].recoveries = needed;
+  return plan;
+}
+
+PolicyAssignment uniform_assignment(const Application& app,
+                                    const ProcessPlan& shape) {
+  PolicyAssignment pa(app.process_count());
+  for (int i = 0; i < app.process_count(); ++i) {
+    pa.plan(ProcessId{i}) = shape;
+  }
+  return pa;
+}
+
+}  // namespace ftes

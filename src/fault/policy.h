@@ -1,0 +1,103 @@
+// Fault-tolerance policy assignment F = <P, Q, R, X> of DATE'08 Section 4
+// (Fig. 4), together with the mapping M of every process copy.
+//
+//   P: kind of fault tolerance (checkpointing / replication / both)
+//   Q: number of *additional* replicas (copies = Q + 1)
+//   R: number of recoveries per copy
+//   X: number of checkpoints per copy (0 == not checkpointed)
+//
+// Copy 0 is the original process; copies 1..Q are the replicas in V_R.
+//
+// Tolerance invariant.  A copy with r recoveries survives at most r faults
+// (a non-checkpointed copy survives none).  Against an adversary that may
+// split k faults arbitrarily across copies, at least one copy must survive:
+//     sum_j (R(copy_j) + 1)  >=  k + 1.
+// The paper's three cases instantiate it: checkpointing (1 copy, R = k),
+// replication (k+1 copies, R = 0), and the mixed Fig. 4c (2 copies,
+// R = {0, 1}, k = 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "app/application.h"
+#include "fault/fault_model.h"
+#include "fault/policy_kind.h"
+#include "util/time_types.h"
+
+namespace ftes {
+
+/// One scheduled copy of a process: its mapping plus its share of the
+/// time-redundancy budget.
+struct CopyPlan {
+  NodeId node;          ///< mapping M(copy); invalid until mapping decided
+  int checkpoints = 0;  ///< X: equidistant checkpoints (0 = pure replica)
+  int recoveries = 0;   ///< R: recoveries this copy may perform
+};
+
+/// Complete plan for one process.
+struct ProcessPlan {
+  PolicyKind kind = PolicyKind::kCheckpointing;
+  std::vector<CopyPlan> copies;  ///< size >= 1; [0] is the original
+
+  [[nodiscard]] int copy_count() const {
+    return static_cast<int>(copies.size());
+  }
+  /// Q(Pi): number of additional replicas.
+  [[nodiscard]] int replica_count() const { return copy_count() - 1; }
+  /// Sum of R over all copies.
+  [[nodiscard]] int total_recoveries() const;
+  /// Tolerance invariant: sum_j (R_j + 1) >= k + 1.
+  [[nodiscard]] bool tolerates(int k) const;
+};
+
+/// F + M for the whole application (indexed by ProcessId).
+class PolicyAssignment {
+ public:
+  PolicyAssignment() = default;
+  explicit PolicyAssignment(int process_count)
+      : plans_(static_cast<std::size_t>(process_count)) {}
+
+  [[nodiscard]] ProcessPlan& plan(ProcessId p) {
+    return plans_.at(static_cast<std::size_t>(p.get()));
+  }
+  [[nodiscard]] const ProcessPlan& plan(ProcessId p) const {
+    return plans_.at(static_cast<std::size_t>(p.get()));
+  }
+  [[nodiscard]] int process_count() const {
+    return static_cast<int>(plans_.size());
+  }
+
+  /// Throws std::invalid_argument if any plan violates the tolerance
+  /// invariant for `model.k`, maps a copy to a restricted node, leaves a
+  /// copy unmapped, gives recoveries to an uncheckpointed copy, or places
+  /// two copies of one process on the same node (replica copies must be on
+  /// distinct nodes to provide spatial redundancy).
+  void validate(const Application& app, const FaultModel& model) const;
+
+  [[nodiscard]] std::string summary(const Application& app) const;
+
+ private:
+  std::vector<ProcessPlan> plans_;
+};
+
+/// P = Checkpointing: one copy, R = k, X = checkpoints (>= 1).
+[[nodiscard]] ProcessPlan make_checkpointing_plan(int k, int checkpoints);
+
+/// P = Replication: k+1 pure-replica copies, R = 0, X = 0.
+[[nodiscard]] ProcessPlan make_replication_plan(int k);
+
+/// P = Replication & Checkpointing: `extra_replicas` additional copies
+/// (0 < extra_replicas < k); recoveries are distributed to satisfy the
+/// tolerance invariant with as few recoveries as possible (k - Q in total,
+/// the same budget as the paper's Fig. 4c), all carried by copy 0.  Every
+/// copy that has recoveries gets `checkpoints` checkpoints.
+[[nodiscard]] ProcessPlan make_hybrid_plan(int k, int extra_replicas,
+                                           int checkpoints);
+
+/// A whole-application assignment with the same plan shape for every
+/// process (mapping left invalid).  Convenience for tests and baselines.
+[[nodiscard]] PolicyAssignment uniform_assignment(const Application& app,
+                                                  const ProcessPlan& shape);
+
+}  // namespace ftes

@@ -1,0 +1,16 @@
+// The fault-tolerance policy kinds of DATE'08 Section 4 (function P).
+// Split into its own header so the application model can reference the
+// kind (designer-fixed policies) without depending on the full plan types.
+#pragma once
+
+namespace ftes {
+
+enum class PolicyKind {
+  kCheckpointing,                ///< P(Pi) = Checkpointing (incl. re-execution)
+  kReplication,                  ///< P(Pi) = Replication
+  kReplicationAndCheckpointing,  ///< P(Pi) = Replication & Checkpointing
+};
+
+[[nodiscard]] const char* to_string(PolicyKind kind);
+
+}  // namespace ftes

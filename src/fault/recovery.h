@@ -1,0 +1,73 @@
+// Recovery-time algebra for equidistant checkpointing with rollback
+// recovery (DATE'08 Section 3.1, Fig. 1) and the locally optimal checkpoint
+// count in the style of Punnekkat et al. [27] as used by Izosimov [15].
+//
+// A process copy with n >= 1 equidistant checkpoints consists of n execution
+// segments of ceil(C/n) ticks; saving a checkpoint costs chi, detecting a
+// fault costs alpha, restoring the last checkpoint costs mu.  The paper's
+// accounting (which exactly reproduces its Fig. 1c timeline of 120 ms for
+// C=60, n=2, chi=5, alpha=10, mu=10, one fault, and the 0/35/70 ms
+// re-execution starts of its Fig. 6 schedule table):
+//
+//   fault-free:  E(n, 0) = C + n*chi
+//   f faults:    E(n, f) = E(n, 0) + f*(ceil(C/n) + alpha + mu)
+//
+// i.e. alpha is charged once per *detected fault* and each fault re-executes
+// at most one segment (worst case: the fault lands at the very end of the
+// running segment).  Fault-free detection is folded into C, consistent with
+// the paper's schedule tables where a successor starts exactly at the
+// producer's WCET.
+//
+// Plain re-execution (Section 3) is the n = 1 special case: the single
+// checkpoint at process activation stores the initial inputs (cost chi,
+// zero if the inputs are retained anyway) and restoring them costs mu.
+//
+// Worst-case timeline detail (used by the schedule-table generator): with f
+// faults the adversary gains nothing by choosing segments, so we place all
+// faults on the first segment; then
+//   occurrence of fault j:    occ_j = start + j*seg + (j-1)*(alpha+mu)
+//   start of recovery j:      occ_j + alpha + mu
+#pragma once
+
+#include "util/time_types.h"
+
+namespace ftes {
+
+/// Per-copy timing parameters (all in ticks).
+struct RecoveryParams {
+  Time wcet = 0;   ///< C: worst-case execution time on the mapped node
+  Time alpha = 0;  ///< error-detection overhead per fault
+  Time mu = 0;     ///< recovery overhead (checkpoint / input restore)
+  Time chi = 0;    ///< checkpoint save overhead
+};
+
+/// ceil(C/n): worst-case length of one execution segment.
+[[nodiscard]] Time segment_length(Time wcet, int checkpoints);
+
+/// E(n, f) as defined above.  Requires n >= 1, f >= 0.
+[[nodiscard]] Time checkpointed_exec_time(const RecoveryParams& p,
+                                          int checkpoints, int faults);
+
+/// Execution time of a copy that is *not* checkpointed (a pure replica):
+/// C.  A fault kills such a copy outright; there is no recovery.
+[[nodiscard]] Time replica_exec_time(const RecoveryParams& p);
+
+/// Worst-case occurrence time (relative to the copy's start) of the j-th
+/// fault, j >= 1, under the first-segment convention above.
+[[nodiscard]] Time fault_occurrence_offset(const RecoveryParams& p,
+                                           int checkpoints, int j);
+
+/// Start (relative to the copy's start) of the j-th recovery, j >= 1.
+[[nodiscard]] Time recovery_start_offset(const RecoveryParams& p,
+                                         int checkpoints, int j);
+
+/// Locally optimal checkpoint count for tolerating `faults` faults,
+/// considering the process in isolation ([27]): minimizes E(n, faults) over
+/// n in [1, max_checkpoints].  The continuous optimum is
+/// n0 = sqrt(faults*C/chi); the better of floor/ceil is returned.  With
+/// chi == 0 checkpoints are free and the cap is returned.
+[[nodiscard]] int optimal_checkpoints_local(const RecoveryParams& p,
+                                            int faults,
+                                            int max_checkpoints = 64);
+
+}  // namespace ftes

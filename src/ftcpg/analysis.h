@@ -1,0 +1,44 @@
+// Analyses over the FT-CPG.
+//
+// The FT-CPG's paths enumerate the alternative execution traces; its
+// longest path under execution-time weights (resources ignored) is
+// therefore a *lower bound* on the worst-case schedule length of any
+// schedule for the same policy assignment, while the resource-augmented DP
+// of sched/wcsl.h is an upper bound and the conditional scheduler's
+// scenario-exact WCSL lies between them.  Tests pin this triangle.
+#pragma once
+
+#include "app/application.h"
+#include "fault/policy.h"
+#include "ftcpg/ftcpg.h"
+#include "util/time_types.h"
+
+namespace ftes {
+
+/// Execution-time weight of one FT-CPG vertex: the first execution of a
+/// checkpointed copy costs E(n,0), each recovery vertex in its chain adds
+/// one segment + alpha + mu (so a chain of f faults sums to E(n,f));
+/// replicas cost C; messages cost their size in ticks (a valid lower bound
+/// whenever one payload unit occupies at least one tick of bus time, true
+/// for every shipped configuration); sync nodes are free.
+[[nodiscard]] Time ftcpg_vertex_weight(const Ftcpg& graph, int vertex,
+                                       const Application& app,
+                                       const PolicyAssignment& assignment);
+
+/// Longest execution path through the FT-CPG with at most k fault-edge
+/// traversals (each conditional edge labelled with a positive F literal
+/// consumes one fault; sync nodes collapse contexts, so an unbudgeted path
+/// could otherwise stack more than k faults).  A lower bound on the WCSL of
+/// every schedule realizing this assignment under the same fault model the
+/// graph was built for.
+[[nodiscard]] Time ftcpg_critical_path(const Ftcpg& graph,
+                                       const Application& app,
+                                       const PolicyAssignment& assignment,
+                                       const FaultModel& model);
+
+/// Number of distinct complete fault scenarios the FT-CPG encodes, counted
+/// as the number of maximal guards of its sink-side completion vertices of
+/// one process (diagnostic; grows exponentially with k).
+[[nodiscard]] int ftcpg_scenario_width(const Ftcpg& graph, ProcessId process);
+
+}  // namespace ftes

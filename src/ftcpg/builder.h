@@ -1,0 +1,46 @@
+// FT-CPG construction (DATE'08 Section 5.1).
+//
+// Unrolls an application under a fully mapped policy assignment and fault
+// budget k into the fault-tolerant conditional process graph:
+//
+//  * a checkpointed/re-executed copy becomes a chain of execution attempts
+//    linked by conditional edges (F = "this attempt faulted"); the chain is
+//    replicated once per *input context* (combination of ancestor fault
+//    alternatives), which yields exactly the paper's copy counts -- e.g. in
+//    its Fig. 5 example P2 gets 3+2+1 = 6 copies for k = 2;
+//  * replicas become parallel copies; consumers connect to every copy of a
+//    replicated producer (worst-case join: any k copies may fail, so the
+//    consumer may have to wait for the slowest survivor -- the conservative
+//    semantics also used by the schedule-length analysis, see DESIGN.md);
+//  * frozen processes/messages become synchronization nodes; alternative
+//    paths meet only there, which collapses the input contexts and is
+//    precisely why transparency shrinks the FT-CPG.
+//
+// Cross-node data flow materializes message vertices (scheduled on the TDMA
+// bus); co-located communication is folded into the sender's WCET as the
+// paper prescribes.  Frozen messages always materialize (as sync nodes), to
+// keep their bus slot observable in every scenario.
+#pragma once
+
+#include "app/application.h"
+#include "fault/fault_model.h"
+#include "fault/policy.h"
+#include "ftcpg/ftcpg.h"
+
+namespace ftes {
+
+struct FtcpgBuildOptions {
+  /// Hard cap guarding against exponential blow-up (the FT-CPG is inherently
+  /// exponential in k; the paper's own remedy is transparency).  Exceeding
+  /// the cap throws std::length_error.
+  int max_vertices = 200000;
+};
+
+/// Builds the FT-CPG.  `assignment` must be fully mapped and valid for
+/// `model` (call PolicyAssignment::validate first).
+[[nodiscard]] Ftcpg build_ftcpg(const Application& app,
+                                const PolicyAssignment& assignment,
+                                const FaultModel& model,
+                                const FtcpgBuildOptions& options = {});
+
+}  // namespace ftes

@@ -1,0 +1,117 @@
+#include "gen/taskgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ftes {
+
+Architecture generate_architecture(const TaskGenParams& params) {
+  return Architecture::homogeneous(params.node_count, params.slot_length);
+}
+
+Application generate_application(const TaskGenParams& params, Rng& rng) {
+  if (params.process_count < 1) throw std::invalid_argument("empty graph");
+  if (params.node_count < 1) throw std::invalid_argument("no nodes");
+
+  Application app;
+
+  // ---- layered structure -------------------------------------------------
+  std::vector<int> layer_of;  // per process
+  {
+    int placed = 0;
+    int layer = 0;
+    while (placed < params.process_count) {
+      const int width = static_cast<int>(rng.uniform_int(
+          params.min_layer_width,
+          std::max<std::int64_t>(params.min_layer_width,
+                                 params.max_layer_width)));
+      for (int i = 0; i < width && placed < params.process_count; ++i) {
+        layer_of.push_back(layer);
+        ++placed;
+      }
+      ++layer;
+    }
+  }
+
+  // ---- processes ----------------------------------------------------------
+  for (int i = 0; i < params.process_count; ++i) {
+    Process p;
+    p.name = "P" + std::to_string(i + 1);
+    const Time base = rng.uniform_int(params.wcet_min, params.wcet_max);
+    int allowed = 0;
+    for (int n = 0; n < params.node_count; ++n) {
+      if (rng.chance(params.restriction_probability) &&
+          allowed + (params.node_count - n - 1) >= 1) {
+        continue;  // restricted, but keep at least one node reachable
+      }
+      const double scale = rng.uniform_real(0.7, 1.3);
+      p.wcet[NodeId{n}] = std::max<Time>(
+          1, static_cast<Time>(std::llround(static_cast<double>(base) * scale)));
+      ++allowed;
+    }
+    if (allowed == 0) p.wcet[NodeId{0}] = base;  // defensive: never empty
+    const double frac = rng.uniform_real(params.overhead_min_fraction,
+                                         params.overhead_max_fraction);
+    const Time overhead =
+        std::max<Time>(1, static_cast<Time>(std::llround(
+                              static_cast<double>(base) * frac)));
+    p.alpha = overhead;
+    p.mu = overhead;
+    p.chi = overhead;
+    p.frozen = rng.chance(params.frozen_process_fraction);
+    app.add_process(std::move(p));
+  }
+
+  // ---- edges ----------------------------------------------------------------
+  for (int i = 0; i < params.process_count; ++i) {
+    if (layer_of[static_cast<std::size_t>(i)] == 0) continue;
+    // Candidate producers: any process in a strictly earlier layer.
+    std::vector<int> producers;
+    for (int j = 0; j < params.process_count; ++j) {
+      if (layer_of[static_cast<std::size_t>(j)] <
+          layer_of[static_cast<std::size_t>(i)]) {
+        producers.push_back(j);
+      }
+    }
+    if (producers.empty()) continue;
+    const int degree = static_cast<int>(
+        rng.uniform_int(1, std::min<std::int64_t>(params.max_in_degree,
+                                                  static_cast<std::int64_t>(
+                                                      producers.size()))));
+    rng.shuffle(producers);
+    for (int d = 0; d < degree; ++d) {
+      Message m;
+      m.src = ProcessId{producers[static_cast<std::size_t>(d)]};
+      m.dst = ProcessId{i};
+      m.size = rng.uniform_int(params.msg_size_min, params.msg_size_max);
+      m.frozen = rng.chance(params.frozen_message_fraction);
+      app.add_message(std::move(m));
+    }
+  }
+
+  // ---- deadline -------------------------------------------------------------
+  // Ideal lower bound: critical path of mean WCETs assuming free resources.
+  std::vector<Time> depth(static_cast<std::size_t>(params.process_count), 0);
+  Time critical = 0;
+  for (ProcessId pid : app.topological_order()) {
+    const Process& p = app.process(pid);
+    Time mean = 0;
+    for (const auto& [node, c] : p.wcet) mean += c;
+    mean /= static_cast<Time>(p.wcet.size());
+    Time in = 0;
+    for (ProcessId pred : app.predecessors(pid)) {
+      in = std::max(in, depth[static_cast<std::size_t>(pred.get())]);
+    }
+    depth[static_cast<std::size_t>(pid.get())] = in + mean;
+    critical = std::max(critical, in + mean);
+  }
+  app.set_deadline(static_cast<Time>(
+      std::llround(static_cast<double>(critical) * params.deadline_factor)));
+  app.set_period(app.deadline());
+  return app;
+}
+
+}  // namespace ftes

@@ -1,0 +1,63 @@
+// Synthetic task-graph generator in the TGFF tradition, standing in for the
+// authors' in-house benchmark generator (DESIGN.md Section 5).
+//
+// Generates layered acyclic process graphs with the parameter ranges used
+// by the paper's experiments (Section 6): 20-100 processes on 2-6 nodes,
+// k = 3..7 tolerated faults, WCETs drawn uniformly, fault-tolerance
+// overheads alpha/mu/chi as fractions of the WCET, a configurable fraction
+// of mapping restrictions ("X" entries of Fig. 3c) and of frozen
+// processes/messages (transparency).
+#pragma once
+
+#include <cstdint>
+
+#include "app/application.h"
+#include "arch/architecture.h"
+#include "util/random.h"
+
+namespace ftes {
+
+struct TaskGenParams {
+  int process_count = 20;
+  int node_count = 3;
+
+  /// Layered DAG shape.
+  int min_layer_width = 1;
+  int max_layer_width = 5;
+  int max_in_degree = 3;
+
+  /// WCET range (ticks) on a reference node; per-node WCETs vary +-30%.
+  Time wcet_min = 10;
+  Time wcet_max = 100;
+
+  /// Overheads as fractions of the process's mean WCET (the paper's
+  /// experiments use 5-15%).
+  double overhead_min_fraction = 0.05;
+  double overhead_max_fraction = 0.15;
+
+  /// Probability that a (process, node) pair is restricted ("X").
+  double restriction_probability = 0.10;
+
+  /// Fraction of processes / messages declared frozen.
+  double frozen_process_fraction = 0.0;
+  double frozen_message_fraction = 0.0;
+
+  /// Message sizes in abstract payload units (1 unit == 1 TDMA slot).
+  std::int64_t msg_size_min = 1;
+  std::int64_t msg_size_max = 2;
+
+  /// TDMA slot length in ticks.
+  Time slot_length = 4;
+
+  /// Deadline slack factor: deadline = factor * ideal critical path.
+  double deadline_factor = 6.0;
+};
+
+/// Generates the application; every process can run on >= 1 node.
+[[nodiscard]] Application generate_application(const TaskGenParams& params,
+                                               Rng& rng);
+
+/// Matching homogeneous architecture (node_count nodes, uniform TDMA bus).
+[[nodiscard]] Architecture generate_architecture(const TaskGenParams& params);
+
+}  // namespace ftes

@@ -1,0 +1,220 @@
+#include "io/app_parser.h"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace ftes {
+
+namespace {
+
+struct ParserState {
+  int line = 0;
+  bool have_arch = false;
+  int node_count = 0;
+  Time slot = 0;
+  std::int64_t payload = 1;
+  std::map<std::string, ProcessId> process_by_name;
+
+  [[noreturn]] void error(const std::string& what) const {
+    throw std::invalid_argument("line " + std::to_string(line) + ": " + what);
+  }
+};
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) {
+    if (tok[0] == '#') break;
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+/// Splits "key=value"; returns false if '=' absent.
+bool split_kv(const std::string& tok, std::string& key, std::string& value) {
+  const std::size_t eq = tok.find('=');
+  if (eq == std::string::npos) return false;
+  key = tok.substr(0, eq);
+  value = tok.substr(eq + 1);
+  return true;
+}
+
+Time parse_time(const ParserState& st, const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return static_cast<Time>(v);
+  } catch (const std::exception&) {
+    st.error("expected an integer, got '" + s + "'");
+  }
+}
+
+NodeId parse_node(const ParserState& st, const std::string& s) {
+  if (s.size() < 2 || s[0] != 'N') st.error("expected a node name, got '" + s + "'");
+  const Time index = parse_time(st, s.substr(1));
+  if (index < 1 || index > st.node_count) {
+    st.error("node '" + s + "' out of range (arch has " +
+             std::to_string(st.node_count) + " nodes)");
+  }
+  return NodeId{static_cast<std::int32_t>(index - 1)};
+}
+
+void parse_process(ParserState& st, const std::vector<std::string>& tokens,
+                   Application& app) {
+  if (!st.have_arch) st.error("'process' before 'arch'");
+  if (tokens.size() < 4 || tokens[2] != "wcet") {
+    st.error("expected: process <name> wcet N<i>=<t> ...");
+  }
+  Process p;
+  p.name = tokens[1];
+  if (st.process_by_name.count(p.name)) {
+    st.error("duplicate process '" + p.name + "'");
+  }
+  std::size_t i = 3;
+  std::string key, value;
+  // WCET pairs until the first non-node key.
+  for (; i < tokens.size(); ++i) {
+    if (!split_kv(tokens[i], key, value) || key.empty() || key[0] != 'N') break;
+    p.wcet[parse_node(st, key)] = parse_time(st, value);
+  }
+  if (p.wcet.empty()) st.error("process '" + p.name + "' has no WCET entries");
+  for (; i < tokens.size(); ++i) {
+    if (tokens[i] == "frozen") {
+      p.frozen = true;
+      continue;
+    }
+    if (!split_kv(tokens[i], key, value)) {
+      st.error("unexpected token '" + tokens[i] + "'");
+    }
+    if (key == "alpha") {
+      p.alpha = parse_time(st, value);
+    } else if (key == "mu") {
+      p.mu = parse_time(st, value);
+    } else if (key == "chi") {
+      p.chi = parse_time(st, value);
+    } else if (key == "map") {
+      p.fixed_mapping = parse_node(st, value);
+    } else if (key == "deadline") {
+      p.local_deadline = parse_time(st, value);
+    } else if (key == "release") {
+      p.release = parse_time(st, value);
+    } else if (key == "policy") {
+      if (value == "checkpointing") {
+        p.fixed_policy = PolicyKind::kCheckpointing;
+      } else if (value == "replication") {
+        p.fixed_policy = PolicyKind::kReplication;
+      } else if (value == "hybrid") {
+        p.fixed_policy = PolicyKind::kReplicationAndCheckpointing;
+      } else {
+        st.error("policy= expects checkpointing|replication|hybrid");
+      }
+    } else if (key == "soft") {
+      SoftSpec soft;
+      std::istringstream parts(value);
+      std::string u, d, w;
+      if (!std::getline(parts, u, ':') || !std::getline(parts, d, ':') ||
+          !std::getline(parts, w, ':')) {
+        st.error("soft= expects utility:deadline:window");
+      }
+      soft.utility = static_cast<double>(parse_time(st, u));
+      soft.soft_deadline = parse_time(st, d);
+      soft.window = parse_time(st, w);
+      p.soft = soft;
+    } else {
+      st.error("unknown process attribute '" + key + "'");
+    }
+  }
+  const std::string name = p.name;
+  st.process_by_name[name] = app.add_process(std::move(p));
+}
+
+void parse_message(ParserState& st, const std::vector<std::string>& tokens,
+                   Application& app) {
+  if (tokens.size() < 4) {
+    st.error("expected: message <name> <src> <dst> [size=..] [frozen]");
+  }
+  Message m;
+  m.name = tokens[1];
+  auto src = st.process_by_name.find(tokens[2]);
+  auto dst = st.process_by_name.find(tokens[3]);
+  if (src == st.process_by_name.end()) st.error("unknown process '" + tokens[2] + "'");
+  if (dst == st.process_by_name.end()) st.error("unknown process '" + tokens[3] + "'");
+  m.src = src->second;
+  m.dst = dst->second;
+  std::string key, value;
+  for (std::size_t i = 4; i < tokens.size(); ++i) {
+    if (tokens[i] == "frozen") {
+      m.frozen = true;
+    } else if (split_kv(tokens[i], key, value) && key == "size") {
+      m.size = parse_time(st, value);
+    } else {
+      st.error("unknown message attribute '" + tokens[i] + "'");
+    }
+  }
+  app.add_message(std::move(m));
+}
+
+}  // namespace
+
+ParsedProblem parse_problem(std::istream& in) {
+  ParsedProblem problem;
+  ParserState st;
+  std::string line;
+  bool have_deadline = false;
+  while (std::getline(in, line)) {
+    ++st.line;
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& head = tokens[0];
+    if (head == "arch") {
+      std::string key, value;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        if (!split_kv(tokens[i], key, value)) st.error("expected key=value");
+        if (key == "nodes") {
+          st.node_count = static_cast<int>(parse_time(st, value));
+        } else if (key == "slot") {
+          st.slot = parse_time(st, value);
+        } else if (key == "payload") {
+          st.payload = parse_time(st, value);
+        } else {
+          st.error("unknown arch attribute '" + key + "'");
+        }
+      }
+      if (st.node_count < 1 || st.slot < 1) {
+        st.error("arch needs nodes>=1 and slot>=1");
+      }
+      problem.arch = Architecture::homogeneous(st.node_count, st.slot);
+      problem.arch.bus().set_slot_payload(st.payload);
+      st.have_arch = true;
+    } else if (head == "k") {
+      if (tokens.size() != 2) st.error("expected: k <faults>");
+      problem.model.k = static_cast<int>(parse_time(st, tokens[1]));
+    } else if (head == "deadline") {
+      if (tokens.size() != 2) st.error("expected: deadline <ticks>");
+      problem.app.set_deadline(parse_time(st, tokens[1]));
+      have_deadline = true;
+    } else if (head == "process") {
+      parse_process(st, tokens, problem.app);
+    } else if (head == "message") {
+      parse_message(st, tokens, problem.app);
+    } else {
+      st.error("unknown directive '" + head + "'");
+    }
+  }
+  if (!st.have_arch) throw std::invalid_argument("missing 'arch' directive");
+  if (!have_deadline) throw std::invalid_argument("missing 'deadline' directive");
+  problem.model.validate();
+  problem.app.validate(problem.arch);
+  return problem;
+}
+
+ParsedProblem parse_problem_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_problem(in);
+}
+
+}  // namespace ftes

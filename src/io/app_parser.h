@@ -1,0 +1,37 @@
+// Text format for synthesis problems, used by the ftes_cli tool and handy
+// for regression fixtures.  Line-oriented; '#' starts a comment.
+//
+//   arch nodes=<n> slot=<ticks> [payload=<units>]
+//   k <faults>
+//   deadline <ticks>
+//   process <name> wcet <Node>=<ticks> [<Node>=<ticks> ...]
+//           [alpha=<t>] [mu=<t>] [chi=<t>] [frozen] [map=<Node>]
+//           [deadline=<t>] [release=<t>]
+//           [soft=<utility>:<soft_deadline>:<window>]
+//   message <name> <src> <dst> [size=<units>] [frozen]
+//
+// Nodes are named N1..Nn.  Declarations may appear in any order except that
+// messages must follow the processes they reference.
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "app/application.h"
+#include "arch/architecture.h"
+#include "fault/fault_model.h"
+
+namespace ftes {
+
+struct ParsedProblem {
+  Application app;
+  Architecture arch;
+  FaultModel model;
+};
+
+/// Parses a problem; throws std::invalid_argument with "line N: ..." on
+/// syntax or consistency errors.
+[[nodiscard]] ParsedProblem parse_problem(std::istream& in);
+[[nodiscard]] ParsedProblem parse_problem_string(const std::string& text);
+
+}  // namespace ftes

@@ -1,0 +1,88 @@
+#include "opt/baselines.h"
+
+#include "opt/mapping_opt.h"
+#include "sched/wcsl.h"
+
+namespace ftes {
+
+namespace {
+
+MappingOptOptions mapping_options(const OptimizeOptions& base) {
+  MappingOptOptions opts;
+  opts.iterations = base.iterations;
+  opts.tenure = base.tenure;
+  opts.neighborhood = base.neighborhood;
+  opts.seed = base.seed;
+  return opts;
+}
+
+}  // namespace
+
+OptimizeResult run_mxr(const Application& app, const Architecture& arch,
+                       const FaultModel& model, const OptimizeOptions& base) {
+  OptimizeOptions opts = base;
+  opts.space = PolicySpace::kFull;
+
+  // Multi-start: the full policy space is much larger than the restricted
+  // ones, so a single greedy-seeded run can lose to MX on big instances
+  // within the same iteration budget.  Seeding a second run from the MX
+  // optimum makes MXR dominate MX by construction (the tabu search never
+  // returns a solution worse than its start).
+  OptimizeResult from_greedy = optimize_policy_and_mapping(app, arch, model, opts);
+
+  OptimizeOptions mx_opts = base;
+  mx_opts.space = PolicySpace::kReexecutionOnly;
+  mx_opts.optimize_checkpoints = false;
+  const OptimizeResult mx = optimize_policy_and_mapping(app, arch, model, mx_opts);
+  OptimizeResult from_mx = optimize_from(app, arch, model, opts, mx.assignment);
+  from_mx.evaluations += mx.evaluations;
+
+  OptimizeResult& best = from_mx.wcsl < from_greedy.wcsl ? from_mx : from_greedy;
+  best.evaluations = from_greedy.evaluations + from_mx.evaluations;
+  return best;
+}
+
+OptimizeResult run_mx(const Application& app, const Architecture& arch,
+                      const FaultModel& model, const OptimizeOptions& base) {
+  OptimizeOptions opts = base;
+  opts.space = PolicySpace::kReexecutionOnly;
+  opts.optimize_checkpoints = false;
+  return optimize_policy_and_mapping(app, arch, model, opts);
+}
+
+OptimizeResult run_mr(const Application& app, const Architecture& arch,
+                      const FaultModel& model, const OptimizeOptions& base) {
+  OptimizeOptions opts = base;
+  opts.space = PolicySpace::kReplicationOnly;
+  opts.optimize_checkpoints = false;
+  return optimize_policy_and_mapping(app, arch, model, opts);
+}
+
+OptimizeResult run_sfx(const Application& app, const Architecture& arch,
+                       const FaultModel& model, const OptimizeOptions& base) {
+  // Stage 1: FT-ignorant mapping.
+  const MappingOptResult mapping =
+      optimize_mapping_no_ft(app, arch, mapping_options(base));
+  // Stage 2: layer re-execution on the fixed mapping.
+  PolicyAssignment pa(app.process_count());
+  for (int i = 0; i < app.process_count(); ++i) {
+    const ProcessId pid{i};
+    ProcessPlan plan = make_checkpointing_plan(model.k, 1);
+    plan.copies[0].node = mapping.assignment.plan(pid).copies[0].node;
+    pa.plan(pid) = plan;
+  }
+  OptimizeResult result;
+  result.assignment = pa;
+  const WcslResult wcsl = evaluate_wcsl(app, arch, pa, model);
+  result.wcsl = wcsl.makespan;
+  result.schedulable = wcsl.meets_deadlines(app);
+  result.evaluations = mapping.evaluations + 1;
+  return result;
+}
+
+Time non_ft_reference(const Application& app, const Architecture& arch,
+                      const OptimizeOptions& base) {
+  return optimize_mapping_no_ft(app, arch, mapping_options(base)).makespan;
+}
+
+}  // namespace ftes

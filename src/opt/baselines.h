@@ -1,0 +1,53 @@
+// The comparison approaches of the paper's evaluation (Figs. 7 and 8).
+//
+//   MXR -- the paper's approach [13,15]: tabu search over mapping AND
+//          fault-tolerance policy (checkpointing / replication / hybrid).
+//   MX  -- FT-aware mapping optimization, but the policy is fixed to
+//          re-execution for every process.
+//   MR  -- FT-aware mapping optimization with active replication only.
+//   SFX -- "straightforward": mapping optimized ignoring fault tolerance,
+//          then re-execution added on top with no remapping.
+//   Local checkpointing [27] -- per-process isolated optimal checkpoint
+//          counts (Fig. 8 baseline); Global [15] -- checkpoint counts
+//          optimized against the whole-application WCSL.
+#pragma once
+
+#include "app/application.h"
+#include "arch/architecture.h"
+#include "fault/fault_model.h"
+#include "opt/policy_assignment.h"
+
+namespace ftes {
+
+/// The paper's full approach (policy assignment + mapping).
+[[nodiscard]] OptimizeResult run_mxr(const Application& app,
+                                     const Architecture& arch,
+                                     const FaultModel& model,
+                                     const OptimizeOptions& base);
+
+/// Re-execution only, mapping optimized (Fig. 7's MX).
+[[nodiscard]] OptimizeResult run_mx(const Application& app,
+                                    const Architecture& arch,
+                                    const FaultModel& model,
+                                    const OptimizeOptions& base);
+
+/// Replication only, mapping optimized (Fig. 7's MR).
+[[nodiscard]] OptimizeResult run_mr(const Application& app,
+                                    const Architecture& arch,
+                                    const FaultModel& model,
+                                    const OptimizeOptions& base);
+
+/// Straightforward baseline (Fig. 7's SFX): FT-ignorant mapping, then
+/// re-execution layered on top without remapping.
+[[nodiscard]] OptimizeResult run_sfx(const Application& app,
+                                     const Architecture& arch,
+                                     const FaultModel& model,
+                                     const OptimizeOptions& base);
+
+/// Non-fault-tolerant reference: FT-ignorant optimized mapping, no
+/// redundancy; its makespan is the FTO denominator.
+[[nodiscard]] Time non_ft_reference(const Application& app,
+                                    const Architecture& arch,
+                                    const OptimizeOptions& base);
+
+}  // namespace ftes

@@ -1,0 +1,137 @@
+#include "opt/checkpoint_opt.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "fault/recovery.h"
+#include "sched/wcsl.h"
+
+namespace ftes {
+
+void apply_local_checkpointing(const Application& app,
+                               PolicyAssignment& assignment,
+                               int max_checkpoints) {
+  for (int i = 0; i < app.process_count(); ++i) {
+    const ProcessId pid{i};
+    const Process& proc = app.process(pid);
+    for (CopyPlan& copy : assignment.plan(pid).copies) {
+      if (copy.checkpoints < 1) continue;
+      RecoveryParams params{proc.wcet_on(copy.node), proc.alpha, proc.mu,
+                            proc.chi};
+      copy.checkpoints =
+          optimal_checkpoints_local(params, copy.recoveries, max_checkpoints);
+    }
+  }
+}
+
+namespace {
+
+/// (process, copy) pairs that carry checkpoints.
+std::vector<std::pair<ProcessId, int>> checkpointed_copies(
+    const Application& app, const PolicyAssignment& pa) {
+  std::vector<std::pair<ProcessId, int>> result;
+  for (int i = 0; i < app.process_count(); ++i) {
+    const ProcessId pid{i};
+    const ProcessPlan& plan = pa.plan(pid);
+    for (int j = 0; j < plan.copy_count(); ++j) {
+      if (plan.copies[static_cast<std::size_t>(j)].checkpoints >= 1) {
+        result.emplace_back(pid, j);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+CheckpointOptResult optimize_checkpoints_global(const Application& app,
+                                                const Architecture& arch,
+                                                const FaultModel& model,
+                                                PolicyAssignment initial,
+                                                int max_checkpoints,
+                                                int max_rounds) {
+  CheckpointOptResult result;
+  result.assignment = std::move(initial);
+  result.wcsl = evaluate_wcsl(app, arch, result.assignment, model).makespan;
+  result.evaluations = 1;
+
+  const auto targets = checkpointed_copies(app, result.assignment);
+  for (int round = 0; round < max_rounds; ++round) {
+    bool improved = false;
+    for (const auto& [pid, j] : targets) {
+      CopyPlan& copy =
+          result.assignment.plan(pid).copies[static_cast<std::size_t>(j)];
+      // Neighbour counts plus the "no intermediate checkpoints" extreme --
+      // off-critical processes often want n = 1 to shed the n*chi overhead
+      // entirely, which +-1 steps reach only through a cost plateau.
+      const int current = copy.checkpoints;
+      for (int next : {current - 2, current - 1, current + 1, current + 2, 1}) {
+        if (next < 1 || next > max_checkpoints || next == copy.checkpoints) {
+          continue;
+        }
+        const int saved = copy.checkpoints;
+        copy.checkpoints = next;
+        const Time wcsl =
+            evaluate_wcsl(app, arch, result.assignment, model).makespan;
+        ++result.evaluations;
+        if (wcsl < result.wcsl) {
+          result.wcsl = wcsl;
+          improved = true;
+        } else {
+          copy.checkpoints = saved;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return result;
+}
+
+CheckpointOptResult optimize_checkpoints_exact(const Application& app,
+                                               const Architecture& arch,
+                                               const FaultModel& model,
+                                               PolicyAssignment initial,
+                                               int max_checkpoints,
+                                               std::int64_t max_combinations) {
+  const auto targets = checkpointed_copies(app, initial);
+  std::int64_t combinations = 1;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    combinations *= max_checkpoints;
+    if (combinations > max_combinations) {
+      throw std::length_error("exact checkpoint search space too large");
+    }
+  }
+
+  CheckpointOptResult result;
+  result.assignment = initial;
+  result.wcsl = evaluate_wcsl(app, arch, result.assignment, model).makespan;
+  result.evaluations = 1;
+
+  std::vector<int> counts(targets.size(), 1);
+  PolicyAssignment candidate = initial;
+  while (true) {
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      candidate.plan(targets[i].first)
+          .copies[static_cast<std::size_t>(targets[i].second)]
+          .checkpoints = counts[i];
+    }
+    const Time wcsl = evaluate_wcsl(app, arch, candidate, model).makespan;
+    ++result.evaluations;
+    if (wcsl < result.wcsl) {
+      result.wcsl = wcsl;
+      result.assignment = candidate;
+    }
+    // Odometer increment.
+    std::size_t pos = 0;
+    while (pos < counts.size()) {
+      if (++counts[pos] <= max_checkpoints) break;
+      counts[pos] = 1;
+      ++pos;
+    }
+    if (pos == counts.size()) break;
+    if (counts.empty()) break;
+  }
+  return result;
+}
+
+}  // namespace ftes

@@ -1,0 +1,48 @@
+// Checkpoint-count optimization (Section 6 / [15], evaluated in Fig. 8).
+//
+// The baseline [27] picks each process's checkpoint count in isolation
+// (fault/recovery.h's optimal_checkpoints_local).  That is locally optimal
+// but globally suboptimal: checkpoints trade per-process overhead chi
+// against shared recovery slack, and the trade depends on where the process
+// sits in the schedule.  The global optimizer below performs coordinate
+// descent on the checkpoint counts against the full WCSL objective; an
+// exhaustive exact optimizer over small instances certifies it in tests
+// (standing in for an ILP formulation, DESIGN.md Section 5).
+#pragma once
+
+#include "app/application.h"
+#include "arch/architecture.h"
+#include "fault/fault_model.h"
+#include "fault/policy.h"
+#include "util/time_types.h"
+
+namespace ftes {
+
+/// Sets X of every checkpointed copy to the isolated optimum of [27]
+/// (each copy considered alone, tolerating all of its recoveries).
+void apply_local_checkpointing(const Application& app,
+                               PolicyAssignment& assignment,
+                               int max_checkpoints);
+
+struct CheckpointOptResult {
+  PolicyAssignment assignment;
+  Time wcsl = 0;
+  int evaluations = 0;
+};
+
+/// Coordinate descent: repeatedly sweep all checkpointed copies, trying
+/// X-1 / X+1 (and keeping any strict WCSL improvement) until a full sweep
+/// makes no progress or `max_rounds` is hit.
+[[nodiscard]] CheckpointOptResult optimize_checkpoints_global(
+    const Application& app, const Architecture& arch, const FaultModel& model,
+    PolicyAssignment initial, int max_checkpoints, int max_rounds = 8);
+
+/// Exhaustive search over all checkpoint-count vectors in
+/// [1, max_checkpoints]^(#checkpointed copies).  Exponential; guarded by
+/// `max_combinations` (throws std::length_error beyond it).  Test oracle.
+[[nodiscard]] CheckpointOptResult optimize_checkpoints_exact(
+    const Application& app, const Architecture& arch, const FaultModel& model,
+    PolicyAssignment initial, int max_checkpoints,
+    std::int64_t max_combinations = 2'000'000);
+
+}  // namespace ftes

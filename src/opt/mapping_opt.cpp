@@ -1,0 +1,102 @@
+#include "opt/mapping_opt.h"
+
+#include <vector>
+
+#include "opt/tabu.h"
+#include "sched/list_scheduler.h"
+#include "util/random.h"
+
+namespace ftes {
+
+namespace {
+
+PolicyAssignment bare_greedy(const Application& app,
+                             const Architecture& arch) {
+  PolicyAssignment pa(app.process_count());
+  std::vector<Time> load(static_cast<std::size_t>(arch.node_count()), 0);
+  for (ProcessId pid : app.topological_order()) {
+    const Process& proc = app.process(pid);
+    ProcessPlan plan;
+    plan.kind = PolicyKind::kCheckpointing;
+    CopyPlan copy;  // no checkpoints / recoveries: plain execution
+    if (proc.fixed_mapping) {
+      copy.node = *proc.fixed_mapping;
+    } else {
+      Time best = kTimeInfinity;
+      for (NodeId n : arch.node_ids()) {
+        if (!proc.can_run_on(n)) continue;
+        const Time finish = load[static_cast<std::size_t>(n.get())] +
+                            proc.wcet_on(n);
+        if (finish < best) {
+          best = finish;
+          copy.node = n;
+        }
+      }
+    }
+    load[static_cast<std::size_t>(copy.node.get())] += proc.wcet_on(copy.node);
+    plan.copies.push_back(copy);
+    pa.plan(pid) = plan;
+  }
+  return pa;
+}
+
+}  // namespace
+
+MappingOptResult optimize_mapping_no_ft(const Application& app,
+                                        const Architecture& arch,
+                                        const MappingOptOptions& options) {
+  Rng rng(options.seed);
+  TabuList tabu(options.tenure);
+
+  PolicyAssignment current = bare_greedy(app, arch);
+  Time current_cost = list_schedule(app, arch, current).makespan;
+  PolicyAssignment best = current;
+  Time best_cost = current_cost;
+  int evaluations = 1;
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    Time best_move_cost = kTimeInfinity;
+    PolicyAssignment best_move;
+    TabuList::Key best_key{};
+    for (int s = 0; s < options.neighborhood; ++s) {
+      const ProcessId pid{static_cast<std::int32_t>(
+          rng.index(static_cast<std::size_t>(app.process_count())))};
+      const Process& proc = app.process(pid);
+      if (proc.fixed_mapping || proc.wcet.size() < 2) continue;
+      std::vector<NodeId> allowed;
+      for (NodeId n : arch.node_ids()) {
+        if (proc.can_run_on(n)) allowed.push_back(n);
+      }
+      PolicyAssignment candidate = current;
+      CopyPlan& copy = candidate.plan(pid).copies[0];
+      const NodeId to = allowed[rng.index(allowed.size())];
+      if (to == copy.node) continue;
+      copy.node = to;
+      const TabuList::Key key{0, pid.get(), 0, to.get()};
+      const Time cost = list_schedule(app, arch, candidate).makespan;
+      ++evaluations;
+      if (tabu.is_tabu(key, iter) && cost >= best_cost) continue;
+      if (cost < best_move_cost) {
+        best_move_cost = cost;
+        best_move = candidate;
+        best_key = key;
+      }
+    }
+    if (best_move_cost == kTimeInfinity) continue;
+    current = best_move;
+    current_cost = best_move_cost;
+    tabu.make_tabu(best_key, iter);
+    if (current_cost < best_cost) {
+      best_cost = current_cost;
+      best = current;
+    }
+  }
+
+  MappingOptResult result;
+  result.assignment = best;
+  result.makespan = best_cost;
+  result.evaluations = evaluations;
+  return result;
+}
+
+}  // namespace ftes

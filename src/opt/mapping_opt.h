@@ -1,0 +1,38 @@
+// Fault-tolerance-agnostic mapping optimization: the classic
+// makespan-minimizing mapping of [8], used both as the paper's FTO
+// reference point ("the same techniques, ignoring fault tolerance") and as
+// the first stage of the straightforward SFX baseline of Fig. 7.
+#pragma once
+
+#include <cstdint>
+
+#include "app/application.h"
+#include "arch/architecture.h"
+#include "fault/policy.h"
+#include "util/time_types.h"
+
+namespace ftes {
+
+struct MappingOptOptions {
+  int iterations = 200;
+  int tenure = 8;
+  int neighborhood = 16;
+  std::uint64_t seed = 1;
+};
+
+struct MappingOptResult {
+  /// One no-overhead copy per process (checkpoints = recoveries = 0),
+  /// mapped; usable as the non-fault-tolerant reference or as the mapping
+  /// seed for FT policy layering.
+  PolicyAssignment assignment;
+  Time makespan = 0;  ///< fault-free list-schedule makespan
+  int evaluations = 0;
+};
+
+/// Tabu search over process-to-node mapping minimizing the fault-free
+/// makespan (k is ignored entirely).
+[[nodiscard]] MappingOptResult optimize_mapping_no_ft(
+    const Application& app, const Architecture& arch,
+    const MappingOptOptions& options);
+
+}  // namespace ftes

@@ -1,0 +1,81 @@
+// Mapping + fault-tolerance policy assignment optimization (Section 6,
+// consolidating [13] and [15]): decide, per process, whether to use
+// checkpointing/re-execution, active replication, or a combination, place
+// every copy on a node, and choose checkpoint counts, minimizing the
+// worst-case schedule length under k transient faults.
+//
+// The engine is a tabu search over three move families (remap a copy,
+// switch the policy kind, adjust a checkpoint count), seeded by a greedy
+// load-balancing construction; the objective is the WCSL analysis of
+// sched/wcsl.h plus soft penalties for local-deadline violations.
+#pragma once
+
+#include <cstdint>
+
+#include "app/application.h"
+#include "arch/architecture.h"
+#include "fault/fault_model.h"
+#include "fault/policy.h"
+#include "util/time_types.h"
+
+namespace ftes {
+
+/// Search space restriction, used to express the paper's comparison
+/// baselines (Fig. 7).
+enum class PolicySpace {
+  kReexecutionOnly,   ///< MX: checkpointing fixed to one checkpoint
+  kCheckpointingOnly, ///< checkpointing with optimized checkpoint counts
+  kReplicationOnly,   ///< MR: active replication for every process
+  kFull,              ///< MXR: checkpointing / replication / hybrid
+};
+
+struct OptimizeOptions {
+  PolicySpace space = PolicySpace::kFull;
+  bool optimize_mapping = true;
+  /// Search over checkpoint counts (ignored for kReexecutionOnly /
+  /// kReplicationOnly).
+  bool optimize_checkpoints = true;
+  int iterations = 300;
+  int tenure = 8;
+  /// Random moves sampled per iteration.
+  int neighborhood = 24;
+  int max_checkpoints = 8;
+  std::uint64_t seed = 1;
+};
+
+struct OptimizeResult {
+  PolicyAssignment assignment;
+  Time wcsl = 0;
+  bool schedulable = false;
+  int evaluations = 0;
+};
+
+/// Greedy initial solution: processes in topological order, copy-0 mapping
+/// on the allowed node minimizing (finish-of-load + wcet); policies per
+/// `space` (checkpointing plans start from the local-optimal checkpoint
+/// count of [27]).
+[[nodiscard]] PolicyAssignment greedy_initial(const Application& app,
+                                              const Architecture& arch,
+                                              const FaultModel& model,
+                                              PolicySpace space,
+                                              int max_checkpoints);
+
+/// Full tabu-search optimization.
+[[nodiscard]] OptimizeResult optimize_policy_and_mapping(
+    const Application& app, const Architecture& arch, const FaultModel& model,
+    const OptimizeOptions& options);
+
+/// Tabu search from a caller-provided start (used by baselines/ablations).
+[[nodiscard]] OptimizeResult optimize_from(const Application& app,
+                                           const Architecture& arch,
+                                           const FaultModel& model,
+                                           const OptimizeOptions& options,
+                                           PolicyAssignment initial);
+
+/// Objective: WCSL makespan plus soft local-deadline penalties.
+[[nodiscard]] Time assignment_cost(const Application& app,
+                                   const Architecture& arch,
+                                   const PolicyAssignment& assignment,
+                                   const FaultModel& model);
+
+}  // namespace ftes

@@ -1,0 +1,209 @@
+#include "opt/soft_hard.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sched/wcsl.h"
+#include "util/random.h"
+
+namespace ftes {
+
+double utility_at(const SoftSpec& spec, Time finish) {
+  if (finish <= spec.soft_deadline) return spec.utility;
+  if (spec.window <= 0) return 0.0;
+  const Time over = finish - spec.soft_deadline;
+  if (over >= spec.window) return 0.0;
+  return spec.utility *
+         (1.0 - static_cast<double>(over) / static_cast<double>(spec.window));
+}
+
+namespace {
+
+/// Checks closure: dropped processes are soft and their successors are all
+/// dropped.
+void check_drop_set(const Application& app, const std::vector<bool>& dropped) {
+  if (static_cast<int>(dropped.size()) != app.process_count()) {
+    throw std::invalid_argument("drop set size mismatch");
+  }
+  for (int i = 0; i < app.process_count(); ++i) {
+    if (!dropped[static_cast<std::size_t>(i)]) continue;
+    const Process& p = app.process(ProcessId{i});
+    if (!p.soft) {
+      throw std::invalid_argument("hard process '" + p.name + "' dropped");
+    }
+    for (ProcessId succ : app.successors(ProcessId{i})) {
+      if (!dropped[static_cast<std::size_t>(succ.get())]) {
+        throw std::invalid_argument("drop set not successor-closed at '" +
+                                    p.name + "'");
+      }
+    }
+  }
+}
+
+/// Builds the kept-only sub-application and the matching sub-assignment.
+struct Filtered {
+  Application app;
+  PolicyAssignment assignment;
+  std::vector<int> old_of_new;  // new pid -> old pid
+};
+
+Filtered filter(const Application& app, const PolicyAssignment& pa,
+                const std::vector<bool>& dropped) {
+  Filtered f;
+  std::vector<int> new_of_old(static_cast<std::size_t>(app.process_count()),
+                              -1);
+  for (int i = 0; i < app.process_count(); ++i) {
+    if (dropped[static_cast<std::size_t>(i)]) continue;
+    new_of_old[static_cast<std::size_t>(i)] =
+        f.app.add_process(app.process(ProcessId{i})).get();
+    f.old_of_new.push_back(i);
+  }
+  for (const Message& m : app.messages()) {
+    const int s = new_of_old[static_cast<std::size_t>(m.src.get())];
+    const int d = new_of_old[static_cast<std::size_t>(m.dst.get())];
+    if (s < 0 || d < 0) continue;
+    Message copy = m;
+    copy.src = ProcessId{s};
+    copy.dst = ProcessId{d};
+    f.app.add_message(std::move(copy));
+  }
+  f.app.set_deadline(app.deadline());
+  f.app.set_period(app.period());
+  f.assignment = PolicyAssignment(f.app.process_count());
+  for (int n = 0; n < f.app.process_count(); ++n) {
+    f.assignment.plan(ProcessId{n}) =
+        pa.plan(ProcessId{f.old_of_new[static_cast<std::size_t>(n)]});
+  }
+  return f;
+}
+
+}  // namespace
+
+SoftHardEvaluation evaluate_soft_hard(const Application& app,
+                                      const Architecture& arch,
+                                      const PolicyAssignment& assignment,
+                                      const FaultModel& model,
+                                      const std::vector<bool>& dropped) {
+  check_drop_set(app, dropped);
+  const Filtered f = filter(app, assignment, dropped);
+  SoftHardEvaluation eval;
+  if (f.app.process_count() == 0) {
+    eval.hard_feasible = true;
+    return eval;
+  }
+  const WcslResult wcsl = evaluate_wcsl(f.app, arch, f.assignment, model);
+  eval.wcsl = wcsl.makespan;
+  eval.hard_feasible = wcsl.makespan <= app.deadline();
+  for (int n = 0; n < f.app.process_count(); ++n) {
+    const Process& p = f.app.process(ProcessId{n});
+    const Time finish = wcsl.process_finish[static_cast<std::size_t>(n)];
+    if (p.soft) {
+      eval.total_utility += utility_at(*p.soft, finish);
+    } else if (p.local_deadline && finish > *p.local_deadline) {
+      eval.hard_feasible = false;
+    }
+  }
+  return eval;
+}
+
+SoftHardResult optimize_soft_hard(const Application& app,
+                                  const Architecture& arch,
+                                  const PolicyAssignment& assignment,
+                                  const FaultModel& model,
+                                  const SoftHardOptions& options) {
+  Rng rng(options.seed);
+  SoftHardResult result;
+  result.dropped.assign(static_cast<std::size_t>(app.process_count()), false);
+
+  // Droppable = soft with no hard process downstream.
+  std::vector<bool> droppable(static_cast<std::size_t>(app.process_count()),
+                              true);
+  const std::vector<ProcessId> topo = app.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const ProcessId pid = *it;
+    bool ok = app.process(pid).soft.has_value();
+    for (ProcessId succ : app.successors(pid)) {
+      if (!droppable[static_cast<std::size_t>(succ.get())]) ok = false;
+    }
+    // A process whose successor is kept can still be dropped later only if
+    // the successor is dropped too; droppable[] records the *potential*.
+    droppable[static_cast<std::size_t>(pid.get())] = ok;
+  }
+
+  // Closure helper: dropping pid drops all droppable descendants.
+  auto drop_closure = [&](std::vector<bool>& set, ProcessId pid) {
+    std::vector<ProcessId> stack{pid};
+    while (!stack.empty()) {
+      const ProcessId p = stack.back();
+      stack.pop_back();
+      if (set[static_cast<std::size_t>(p.get())]) continue;
+      set[static_cast<std::size_t>(p.get())] = true;
+      for (ProcessId succ : app.successors(p)) stack.push_back(succ);
+    }
+  };
+
+  result.evaluation =
+      evaluate_soft_hard(app, arch, assignment, model, result.dropped);
+  result.evaluations = 1;
+
+  // Greedy repair: while hard-infeasible, drop the droppable process with
+  // the lowest utility density (utility / WCET) whose closure is legal.
+  while (!result.evaluation.hard_feasible) {
+    int best = -1;
+    double best_density = 0.0;
+    for (int i = 0; i < app.process_count(); ++i) {
+      if (result.dropped[static_cast<std::size_t>(i)] ||
+          !droppable[static_cast<std::size_t>(i)]) {
+        continue;
+      }
+      const Process& p = app.process(ProcessId{i});
+      Time wcet = 0;
+      for (const auto& [node, c] : p.wcet) wcet = std::max(wcet, c);
+      const double density =
+          p.soft->utility / static_cast<double>(std::max<Time>(wcet, 1));
+      if (best < 0 || density < best_density) {
+        best = i;
+        best_density = density;
+      }
+    }
+    if (best < 0) break;  // nothing left to drop; hard set is infeasible
+    drop_closure(result.dropped, ProcessId{best});
+    result.evaluation =
+        evaluate_soft_hard(app, arch, assignment, model, result.dropped);
+    ++result.evaluations;
+  }
+
+  // Local search: toggle drops (drop a kept closure / restore a dropped
+  // process whose predecessors are kept), accept if utility improves while
+  // staying hard-feasible.
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    const int i =
+        static_cast<int>(rng.index(static_cast<std::size_t>(app.process_count())));
+    const ProcessId pid{i};
+    std::vector<bool> candidate = result.dropped;
+    if (result.dropped[static_cast<std::size_t>(i)]) {
+      // Restore: legal only if no dropped predecessor remains.
+      bool ok = true;
+      for (ProcessId pred : app.predecessors(pid)) {
+        if (candidate[static_cast<std::size_t>(pred.get())]) ok = false;
+      }
+      if (!ok) continue;
+      candidate[static_cast<std::size_t>(i)] = false;
+    } else {
+      if (!droppable[static_cast<std::size_t>(i)]) continue;
+      drop_closure(candidate, pid);
+    }
+    const SoftHardEvaluation eval =
+        evaluate_soft_hard(app, arch, assignment, model, candidate);
+    ++result.evaluations;
+    if (eval.hard_feasible &&
+        (!result.evaluation.hard_feasible ||
+         eval.total_utility > result.evaluation.total_utility)) {
+      result.dropped = std::move(candidate);
+      result.evaluation = eval;
+    }
+  }
+  return result;
+}
+
+}  // namespace ftes

@@ -1,0 +1,71 @@
+// Fault-tolerant scheduling with soft and hard time constraints
+// (Izosimov et al., DATE 2008 [17], the scheduling family the paper's
+// Section 5.2 points to).
+//
+// Hard processes must complete -- on time -- in every scenario of at most k
+// transient faults.  Soft processes each carry a utility function
+//
+//     U(t) = U0                                   for t <= soft_deadline
+//     U(t) = U0 * (1 - (t - d)/window)            for d < t <= d + window
+//     U(t) = 0                                    afterwards
+//
+// and may be *dropped*: a dropped soft process (and, transitively,
+// everything that depends on it) is not executed at all, freeing its
+// resources.  The optimization picks the drop set and evaluates the
+// worst-case completion of every kept process under k faults, maximizing
+// the total worst-case utility subject to hard-deadline feasibility.
+//
+// Dropping is closed under successors: a process may only be dropped if all
+// its successors are dropped too, and hard processes are never droppable
+// (nor, therefore, any ancestor of a hard process).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "app/application.h"
+#include "arch/architecture.h"
+#include "fault/fault_model.h"
+#include "fault/policy.h"
+#include "util/time_types.h"
+
+namespace ftes {
+
+/// U(t) for one soft spec (0 for t beyond the decay window).
+[[nodiscard]] double utility_at(const SoftSpec& spec, Time finish);
+
+struct SoftHardEvaluation {
+  bool hard_feasible = false;   ///< all hard deadlines hold in the worst case
+  double total_utility = 0.0;   ///< sum of worst-case utilities of kept softs
+  Time wcsl = 0;                ///< worst-case schedule length of kept set
+};
+
+/// Evaluates one drop set (dropped[i] == true -> process i not executed).
+/// Throws std::invalid_argument if the drop set is not closed or drops a
+/// hard process.
+[[nodiscard]] SoftHardEvaluation evaluate_soft_hard(
+    const Application& app, const Architecture& arch,
+    const PolicyAssignment& assignment, const FaultModel& model,
+    const std::vector<bool>& dropped);
+
+struct SoftHardOptions {
+  int iterations = 100;  ///< local-search toggles attempted
+  std::uint64_t seed = 1;
+};
+
+struct SoftHardResult {
+  std::vector<bool> dropped;
+  SoftHardEvaluation evaluation;
+  int evaluations = 0;
+};
+
+/// Greedy repair (drop lowest-utility-density closed sets until the hard
+/// deadlines hold) followed by first-improvement local search on the drop
+/// set, maximizing (hard_feasible, total_utility).
+[[nodiscard]] SoftHardResult optimize_soft_hard(const Application& app,
+                                                const Architecture& arch,
+                                                const PolicyAssignment& assignment,
+                                                const FaultModel& model,
+                                                const SoftHardOptions& options);
+
+}  // namespace ftes

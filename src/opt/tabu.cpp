@@ -1,0 +1,3 @@
+// tabu.h is header-only; this TU exists so the build exercises the header
+// under the library's warning flags.
+#include "opt/tabu.h"

@@ -1,0 +1,36 @@
+// Small tabu-search bookkeeping utilities shared by the optimizers of
+// Section 6 ([13]'s mapping + policy assignment heuristic family).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+namespace ftes {
+
+/// Move attributes recently applied are tabu for `tenure` iterations, with
+/// the usual aspiration override (a tabu move that improves the global best
+/// is always accepted).  Keys are 4-int tuples encoded by the caller.
+class TabuList {
+ public:
+  explicit TabuList(int tenure) : tenure_(tenure) {}
+
+  using Key = std::tuple<int, int, int, int>;
+
+  [[nodiscard]] bool is_tabu(const Key& key, int iteration) const {
+    auto it = expiry_.find(key);
+    return it != expiry_.end() && it->second > iteration;
+  }
+
+  void make_tabu(const Key& key, int iteration) {
+    expiry_[key] = iteration + tenure_;
+  }
+
+  void clear() { expiry_.clear(); }
+
+ private:
+  int tenure_;
+  std::map<Key, int> expiry_;
+};
+
+}  // namespace ftes

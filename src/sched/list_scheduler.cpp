@@ -1,0 +1,257 @@
+#include "sched/list_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <stdexcept>
+
+#include "fault/recovery.h"
+#include "graph/digraph.h"
+
+namespace ftes {
+
+int ListSchedule::copy_index(CopyRef ref) const {
+  for (std::size_t i = 0; i < copies.size(); ++i) {
+    if (copies[i].ref == ref) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Time ListSchedule::process_finish(ProcessId p) const {
+  Time latest = 0;
+  auto it = copies_by_process.find(p);
+  if (it == copies_by_process.end()) return 0;
+  for (int idx : it->second) {
+    latest = std::max(latest, copies[static_cast<std::size_t>(idx)].finish);
+  }
+  return latest;
+}
+
+Time fault_free_duration(const Application& app, const CopyPlan& copy,
+                         ProcessId pid) {
+  const Process& proc = app.process(pid);
+  RecoveryParams params{proc.wcet_on(copy.node), proc.alpha, proc.mu,
+                        proc.chi};
+  if (copy.checkpoints >= 1) {
+    return checkpointed_exec_time(params, copy.checkpoints, 0);
+  }
+  return replica_exec_time(params);
+}
+
+PolicyAssignment strip_fault_tolerance(const Application& app,
+                                       const PolicyAssignment& reference) {
+  PolicyAssignment stripped(app.process_count());
+  for (int i = 0; i < app.process_count(); ++i) {
+    const ProcessId pid{i};
+    ProcessPlan plan;
+    plan.kind = PolicyKind::kCheckpointing;
+    CopyPlan copy;
+    copy.node = reference.plan(pid).copies.at(0).node;
+    copy.checkpoints = 0;  // no checkpoint overhead, no recoveries
+    copy.recoveries = 0;
+    plan.copies.push_back(copy);
+    stripped.plan(pid) = plan;
+  }
+  return stripped;
+}
+
+namespace {
+
+struct CopyVertex {
+  CopyRef ref;
+  NodeId node;
+  Time duration = 0;
+  Time release = 0;
+};
+
+}  // namespace
+
+ListSchedule list_schedule(const Application& app, const Architecture& arch,
+                           const PolicyAssignment& assignment) {
+  if (assignment.process_count() != app.process_count()) {
+    throw std::invalid_argument("assignment size mismatch");
+  }
+
+  // ---- Vertices: every copy of every process ----------------------------
+  std::vector<CopyVertex> verts;
+  std::map<std::pair<std::int32_t, int>, int> vert_of;  // (pid, copy) -> idx
+  for (int i = 0; i < app.process_count(); ++i) {
+    const ProcessId pid{i};
+    const ProcessPlan& plan = assignment.plan(pid);
+    if (plan.copies.empty()) throw std::invalid_argument("plan without copies");
+    for (int j = 0; j < plan.copy_count(); ++j) {
+      const CopyPlan& copy = plan.copies[static_cast<std::size_t>(j)];
+      if (!copy.node.valid()) throw std::invalid_argument("unmapped copy");
+      CopyVertex v;
+      v.ref = CopyRef{pid, j};
+      v.node = copy.node;
+      v.duration = fault_free_duration(app, copy, pid);
+      v.release = app.process(pid).release;
+      vert_of[{pid.get(), j}] = static_cast<int>(verts.size());
+      verts.push_back(v);
+    }
+  }
+
+  // ---- Copy-level precedence graph (producer copy -> consumer copy) -----
+  Digraph g(static_cast<int>(verts.size()));
+  for (const Message& m : app.messages()) {
+    const ProcessPlan& sp = assignment.plan(m.src);
+    const ProcessPlan& dp = assignment.plan(m.dst);
+    for (int sj = 0; sj < sp.copy_count(); ++sj) {
+      for (int dj = 0; dj < dp.copy_count(); ++dj) {
+        g.add_edge(vert_of.at({m.src.get(), sj}), vert_of.at({m.dst.get(), dj}));
+      }
+    }
+  }
+
+  // ---- Priorities: partial critical path (durations + worst-case bus) ---
+  const std::vector<Time> rank = g.critical_path_from([&](int v) {
+    // Approximate communication by the worst-case bus duration of the
+    // process's heaviest outgoing message; exact slot timing is resolved
+    // during the actual placement below.
+    const CopyVertex& cv = verts[static_cast<std::size_t>(v)];
+    Time comm = 0;
+    for (MessageId mid : app.outputs(cv.ref.process)) {
+      comm = std::max(
+          comm, arch.bus().worst_case_duration(cv.node, app.message(mid).size));
+    }
+    return cv.duration + comm;
+  });
+
+  // ---- List scheduling ---------------------------------------------------
+  ListSchedule result;
+  result.copies.resize(verts.size());
+  result.node_order.resize(static_cast<std::size_t>(arch.node_count()));
+  std::vector<Time> node_free(static_cast<std::size_t>(arch.node_count()), 0);
+  Time bus_free = 0;
+
+  std::vector<bool> placed(verts.size(), false);
+  std::vector<int> deps_left(verts.size(), 0);
+  for (std::size_t v = 0; v < verts.size(); ++v) {
+    deps_left[v] = static_cast<int>(g.predecessors(static_cast<int>(v)).size());
+  }
+  // data_ready[v]: max over placed producers of their delivery time to v.
+  std::vector<Time> data_ready(verts.size(), 0);
+
+  // Transmissions pending placement, sorted by (ready, msg id, copy).
+  struct PendingTx {
+    Time ready;
+    MessageId msg;
+    int src_copy;
+    NodeId sender;
+  };
+  std::vector<PendingTx> pending_tx;
+
+  auto deliver = [&](const Message& m, int src_vertex, Time delivery) {
+    // Producer copy src delivered message m at `delivery` to all consumer
+    // copies: update their readiness and dependency counters.
+    const ProcessPlan& dp = assignment.plan(m.dst);
+    for (int dj = 0; dj < dp.copy_count(); ++dj) {
+      const int dv = vert_of.at({m.dst.get(), dj});
+      data_ready[static_cast<std::size_t>(dv)] =
+          std::max(data_ready[static_cast<std::size_t>(dv)], delivery);
+      --deps_left[static_cast<std::size_t>(dv)];
+    }
+    (void)src_vertex;
+  };
+
+  std::size_t remaining = verts.size();
+  while (remaining > 0) {
+    // Place any transmission that is ready no later than the earliest
+    // startable copy, to keep the bus FIFO in ready order.
+    Time best_start = kTimeInfinity;
+    int best_vertex = -1;
+    for (std::size_t v = 0; v < verts.size(); ++v) {
+      if (placed[v] || deps_left[v] > 0) continue;
+      const CopyVertex& cv = verts[v];
+      const Time start =
+          std::max({data_ready[v], cv.release,
+                    node_free[static_cast<std::size_t>(cv.node.get())]});
+      if (start < best_start ||
+          (start == best_start &&
+           rank[static_cast<std::size_t>(best_vertex)] <
+               rank[v])) {
+        best_start = start;
+        best_vertex = static_cast<int>(v);
+      }
+    }
+
+    Time earliest_tx = kTimeInfinity;
+    std::size_t tx_index = pending_tx.size();
+    for (std::size_t t = 0; t < pending_tx.size(); ++t) {
+      if (pending_tx[t].ready < earliest_tx ||
+          (pending_tx[t].ready == earliest_tx &&
+           tx_index < pending_tx.size() &&
+           pending_tx[t].msg < pending_tx[tx_index].msg)) {
+        earliest_tx = pending_tx[t].ready;
+        tx_index = t;
+      }
+    }
+
+    if (tx_index < pending_tx.size() &&
+        (best_vertex < 0 || earliest_tx <= best_start)) {
+      // Commit the transmission.
+      const PendingTx tx = pending_tx[tx_index];
+      pending_tx.erase(pending_tx.begin() +
+                       static_cast<std::ptrdiff_t>(tx_index));
+      const Message& m = app.message(tx.msg);
+      const Time ready = std::max(tx.ready, bus_free);
+      const Time start = arch.bus().next_slot_start(tx.sender, ready);
+      const Time finish =
+          arch.bus().transmission_finish(tx.sender, ready, m.size);
+      bus_free = finish;
+      ScheduledMessage sm{tx.msg, tx.src_copy, tx.sender, tx.ready, start,
+                          finish};
+      result.bus_order.push_back(static_cast<int>(result.messages.size()));
+      result.messages.push_back(sm);
+      const int sv = vert_of.at({m.src.get(), tx.src_copy});
+      deliver(m, sv, finish);
+      continue;
+    }
+
+    if (best_vertex < 0) {
+      throw std::logic_error("list scheduler deadlock (cyclic copy graph?)");
+    }
+
+    // Commit the copy.
+    const std::size_t v = static_cast<std::size_t>(best_vertex);
+    const CopyVertex& cv = verts[v];
+    ScheduledCopy sc;
+    sc.ref = cv.ref;
+    sc.node = cv.node;
+    sc.start = best_start;
+    sc.finish = best_start + cv.duration;
+    result.copies[v] = sc;
+    placed[v] = true;
+    --remaining;
+    node_free[static_cast<std::size_t>(cv.node.get())] = sc.finish;
+    result.node_order[static_cast<std::size_t>(cv.node.get())].push_back(
+        static_cast<int>(v));
+    result.makespan = std::max(result.makespan, sc.finish);
+    result.copies_by_process[cv.ref.process].push_back(static_cast<int>(v));
+
+    // Emit deliveries / enqueue transmissions for outgoing messages.
+    for (MessageId mid : app.outputs(cv.ref.process)) {
+      const Message& m = app.message(mid);
+      const ProcessPlan& dp = assignment.plan(m.dst);
+      bool cross_node = false;
+      for (const CopyPlan& d : dp.copies) {
+        if (d.node != cv.node) cross_node = true;
+      }
+      if (cross_node) {
+        pending_tx.push_back(PendingTx{sc.finish, mid, cv.ref.copy, cv.node});
+      } else {
+        deliver(m, best_vertex, sc.finish);
+      }
+    }
+  }
+
+  // Bus finish may exceed the last copy finish; the cycle ends when all
+  // activity (including transmissions) completed.
+  for (const ScheduledMessage& m : result.messages) {
+    result.makespan = std::max(result.makespan, m.finish);
+  }
+  return result;
+}
+
+}  // namespace ftes

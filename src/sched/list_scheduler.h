@@ -1,0 +1,80 @@
+// Fault-free static cyclic list scheduler (substrate of [7, 8], used by the
+// design-space exploration of Section 6).
+//
+// Schedules every copy of every process of a mapped policy assignment on its
+// node, plus every cross-node message on the TDMA bus, using partial
+// critical path priorities.  Durations are the *fault-free* fault-tolerant
+// execution times (E(n,0) = C + n*chi for checkpointed copies, C for
+// replicas); the worst-case analysis under k faults is layered on top by
+// wcsl.h.  The same scheduler with a trivial one-copy no-overhead
+// assignment produces the non-fault-tolerant baseline schedule used in the
+// paper's FTO metric.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "app/application.h"
+#include "arch/architecture.h"
+#include "fault/policy.h"
+#include "fault/scenario.h"
+#include "util/time_types.h"
+
+namespace ftes {
+
+/// One scheduled execution block (a copy runs as one block; its inline
+/// recoveries extend it only in faulty scenarios).
+struct ScheduledCopy {
+  CopyRef ref;
+  NodeId node;
+  Time start = 0;
+  Time finish = 0;  ///< fault-free finish
+};
+
+/// One scheduled TDMA transmission: message `msg` sent by copy `src_copy`
+/// of the producer.
+struct ScheduledMessage {
+  MessageId msg;
+  int src_copy = 0;
+  NodeId sender;
+  Time ready = 0;   ///< producer's fault-free finish
+  Time start = 0;   ///< begin of first TDMA slot used
+  Time finish = 0;  ///< end of last slot used
+};
+
+struct ListSchedule {
+  std::vector<ScheduledCopy> copies;
+  std::vector<ScheduledMessage> messages;
+  /// Static order per node: indices into `copies`, ascending start.
+  std::vector<std::vector<int>> node_order;
+  /// Static bus order: indices into `messages`, ascending start.
+  std::vector<int> bus_order;
+  Time makespan = 0;
+
+  /// Index into `copies` for a given copy; -1 if absent.
+  [[nodiscard]] int copy_index(CopyRef ref) const;
+  /// Fault-free finish time of the latest copy of a process.
+  [[nodiscard]] Time process_finish(ProcessId p) const;
+
+  std::unordered_map<ProcessId, std::vector<int>> copies_by_process;
+};
+
+/// Computes the fault-free list schedule.  `assignment` must be fully
+/// mapped; it is validated against `model` (pass k = 0 via a permissive
+/// model when scheduling non-FT baselines).
+[[nodiscard]] ListSchedule list_schedule(const Application& app,
+                                         const Architecture& arch,
+                                         const PolicyAssignment& assignment);
+
+/// Fault-free duration of one copy under its plan (E(n,0) or C).
+[[nodiscard]] Time fault_free_duration(const Application& app,
+                                       const CopyPlan& copy, ProcessId pid);
+
+/// Convenience: the non-fault-tolerant baseline assignment -- one copy per
+/// process, no checkpoints/recoveries, mapped as `reference` maps copy 0.
+/// Its list schedule's makespan is the denominator of the paper's fault
+/// tolerance overhead (FTO) metric.
+[[nodiscard]] PolicyAssignment strip_fault_tolerance(
+    const Application& app, const PolicyAssignment& reference);
+
+}  // namespace ftes

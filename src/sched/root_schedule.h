@@ -1,0 +1,88 @@
+// Root schedules: fully transparent recovery (Kandasamy et al. [19],
+// generalized to k faults as in the group's follow-up work [16]).
+//
+// Where the conditional scheduler (sched/cond_scheduler.h) emits one
+// activation time per condition conjunction, a *root schedule* pins every
+// copy and every transmission to a single start time that holds in every
+// admissible fault scenario -- the degenerate "everything frozen" point of
+// the transparency spectrum.  Recovery happens inside the idle slack left
+// between a copy's worst-case finish and the next fixed start on the same
+// resource, so no other node ever observes a fault (maximal fault
+// containment and debugability, maximal schedule-length cost; the paper's
+// Section 3.3 trade-off in its extreme).
+//
+// Construction: take the fault-free list schedule's static orders, then pin
+// every copy/transmission to its start under the *transparent timing law*
+// (sched/wcsl.h's worst_case_transparent): since any k faults may hit any
+// stage in some scenario, budgets do not split along paths -- every vertex
+// is pinned after its predecessors' full-k worst finishes and carries slack
+// for k local faults.  validate_root_schedule re-checks the result scenario
+// by scenario.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "app/application.h"
+#include "arch/architecture.h"
+#include "fault/fault_model.h"
+#include "fault/policy.h"
+#include "sched/list_scheduler.h"
+#include "sched/wcsl.h"
+
+namespace ftes {
+
+/// One pinned execution slot of the root schedule.
+struct RootSlot {
+  CopyRef ref;
+  NodeId node;
+  Time start = 0;        ///< fixed start, identical in every scenario
+  Time worst_finish = 0; ///< start + E(n, k_usable)
+  Time slack = 0;        ///< idle time to the next fixed start on the node
+};
+
+struct RootMessageSlot {
+  MessageId msg;
+  int src_copy = 0;
+  NodeId sender;
+  Time ready = 0;  ///< pinned worst-case ready time
+  Time start = 0;  ///< TDMA-aligned fixed transmission start
+  Time finish = 0;
+};
+
+struct RootSchedule {
+  std::vector<RootSlot> slots;          ///< all copies, pinned
+  std::vector<RootMessageSlot> messages;
+  Time wcsl = 0;
+
+  /// Activation count: one entry per copy/message -- the "table size" of a
+  /// root schedule, to contrast with ScheduleTables::total_entries().
+  [[nodiscard]] int total_entries() const {
+    return static_cast<int>(slots.size() + messages.size());
+  }
+
+  [[nodiscard]] std::string to_text(const Application& app,
+                                    const Architecture& arch) const;
+};
+
+/// Builds the root schedule for a mapped policy assignment.
+[[nodiscard]] RootSchedule build_root_schedule(const Application& app,
+                                               const Architecture& arch,
+                                               const PolicyAssignment& assignment,
+                                               const FaultModel& model);
+
+/// Property check over *all* admissible scenarios (exponential in k; use on
+/// small instances): in every scenario each copy's recovery fits inside its
+/// slack, messages are ready by their pinned transmission, and the deadline
+/// holds.  Returns human-readable violations.
+struct RootValidation {
+  bool ok = true;
+  std::vector<std::string> violations;
+};
+
+[[nodiscard]] RootValidation validate_root_schedule(
+    const Application& app, const Architecture& arch,
+    const PolicyAssignment& assignment, const FaultModel& model,
+    const RootSchedule& root);
+
+}  // namespace ftes

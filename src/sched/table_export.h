@@ -1,0 +1,30 @@
+// Export of synthesized schedule tables.
+//
+// Two formats:
+//   * JSON -- for tooling and inspection (one object per node, rows keyed by
+//     name, entries {start, label, guard: [{cond, value}]});
+//   * C source -- the deployable artifact: a constant dispatch table per
+//     node for the distributed run-time scheduler of Section 5.2 (each
+//     entry: row id, start tick, guard as an array of (condition id,
+//     expected value) pairs).
+#pragma once
+
+#include <string>
+
+#include "arch/architecture.h"
+#include "sched/schedule_table.h"
+
+namespace ftes {
+
+/// JSON rendering of the complete table set (stable key order).
+[[nodiscard]] std::string tables_to_json(const ScheduleTables& tables,
+                                         const Architecture& arch);
+
+/// Self-contained C source with one `ftes_table_entry` array per node plus
+/// the condition-name table.  `symbol_prefix` namespaces the emitted
+/// identifiers (default "ftes").
+[[nodiscard]] std::string tables_to_c_source(const ScheduleTables& tables,
+                                             const Architecture& arch,
+                                             const std::string& symbol_prefix = "ftes");
+
+}  // namespace ftes

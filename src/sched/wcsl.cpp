@@ -1,0 +1,243 @@
+#include "sched/wcsl.h"
+
+#include <algorithm>
+#include <map>
+
+#include "fault/recovery.h"
+#include "graph/digraph.h"
+
+namespace ftes {
+
+bool WcslResult::meets_deadlines(const Application& app) const {
+  if (makespan > app.deadline()) return false;
+  for (int i = 0; i < app.process_count(); ++i) {
+    const Process& p = app.process(ProcessId{i});
+    if (p.local_deadline &&
+        process_finish[static_cast<std::size_t>(i)] > *p.local_deadline) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// The resource-augmented schedule DAG shared by both analyses: vertices
+/// are copies (0..copy_count) then transmissions; edges are data
+/// precedences plus per-node / bus static orders; weight[v][f] is the
+/// execution time of v when f faults strike it (capped at its recoveries).
+struct Augmented {
+  Digraph g;
+  int copy_count = 0;
+  int msg_count = 0;
+  std::vector<std::vector<Time>> weight;
+  std::vector<Time> release;
+
+  [[nodiscard]] int msg_vertex(int m) const { return copy_count + m; }
+};
+
+Augmented build_augmented(const Application& app, const Architecture& arch,
+                          const PolicyAssignment& assignment, int k,
+                          const ListSchedule& schedule) {
+  Augmented a;
+  a.copy_count = static_cast<int>(schedule.copies.size());
+  a.msg_count = static_cast<int>(schedule.messages.size());
+  const int total = a.copy_count + a.msg_count;
+  a.g = Digraph(total);
+
+  std::map<std::pair<std::int32_t, int>, int> copy_vertex;
+  for (int i = 0; i < a.copy_count; ++i) {
+    const ScheduledCopy& sc = schedule.copies[static_cast<std::size_t>(i)];
+    copy_vertex[{sc.ref.process.get(), sc.ref.copy}] = i;
+  }
+
+  // Data edges.  Cross-node messages go through their transmission vertex;
+  // co-located flow is a direct edge.
+  std::map<std::pair<std::int32_t, int>, int> tx_of;  // (msg, src copy) -> m
+  for (int m = 0; m < a.msg_count; ++m) {
+    const ScheduledMessage& sm = schedule.messages[static_cast<std::size_t>(m)];
+    tx_of[{sm.msg.get(), sm.src_copy}] = m;
+    a.g.add_edge(copy_vertex.at({app.message(sm.msg).src.get(), sm.src_copy}),
+                 a.msg_vertex(m));
+  }
+  for (int mi = 0; mi < app.message_count(); ++mi) {
+    const Message& msg = app.message(MessageId{mi});
+    const ProcessPlan& sp = assignment.plan(msg.src);
+    const ProcessPlan& dp = assignment.plan(msg.dst);
+    for (int sj = 0; sj < sp.copy_count(); ++sj) {
+      auto tx = tx_of.find({mi, sj});
+      for (int dj = 0; dj < dp.copy_count(); ++dj) {
+        const int dst_v = copy_vertex.at({msg.dst.get(), dj});
+        if (tx != tx_of.end()) {
+          a.g.add_edge(a.msg_vertex(tx->second), dst_v);
+        } else {
+          a.g.add_edge(copy_vertex.at({msg.src.get(), sj}), dst_v);
+        }
+      }
+    }
+  }
+
+  // Resource edges: static order on each node and on the bus.
+  for (const auto& order : schedule.node_order) {
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      a.g.add_edge(order[i - 1], order[i]);
+    }
+  }
+  for (std::size_t i = 1; i < schedule.bus_order.size(); ++i) {
+    a.g.add_edge(a.msg_vertex(schedule.bus_order[i - 1]),
+                 a.msg_vertex(schedule.bus_order[i]));
+  }
+
+  // Per-vertex weight tables w_v(f), f = 0..k.
+  a.weight.assign(static_cast<std::size_t>(total),
+                  std::vector<Time>(static_cast<std::size_t>(k) + 1, 0));
+  a.release.assign(static_cast<std::size_t>(total), 0);
+  for (int i = 0; i < a.copy_count; ++i) {
+    const ScheduledCopy& sc = schedule.copies[static_cast<std::size_t>(i)];
+    const Process& proc = app.process(sc.ref.process);
+    const CopyPlan& cp = assignment.plan(sc.ref.process)
+                             .copies.at(static_cast<std::size_t>(sc.ref.copy));
+    RecoveryParams params{proc.wcet_on(sc.node), proc.alpha, proc.mu,
+                          proc.chi};
+    a.release[static_cast<std::size_t>(i)] = proc.release;
+    for (int f = 0; f <= k; ++f) {
+      Time w;
+      if (cp.checkpoints >= 1) {
+        w = checkpointed_exec_time(params, cp.checkpoints,
+                                   std::min(f, cp.recoveries));
+      } else {
+        w = replica_exec_time(params);
+      }
+      a.weight[static_cast<std::size_t>(i)][static_cast<std::size_t>(f)] = w;
+    }
+  }
+  for (int m = 0; m < a.msg_count; ++m) {
+    const ScheduledMessage& sm = schedule.messages[static_cast<std::size_t>(m)];
+    const Time w =
+        arch.bus().worst_case_duration(sm.sender, app.message(sm.msg).size);
+    for (int f = 0; f <= k; ++f) {
+      a.weight[static_cast<std::size_t>(a.msg_vertex(m))]
+              [static_cast<std::size_t>(f)] = w;
+    }
+  }
+  return a;
+}
+
+void fill_result_vertex(WcslResult& result, const ListSchedule& schedule,
+                        const Augmented& a, int v, Time worst_start,
+                        Time worst_finish) {
+  result.makespan = std::max(result.makespan, worst_finish);
+  if (v < a.copy_count) {
+    const ScheduledCopy& sc = schedule.copies[static_cast<std::size_t>(v)];
+    auto& pf =
+        result.process_finish[static_cast<std::size_t>(sc.ref.process.get())];
+    pf = std::max(pf, worst_finish);
+    result.copy_worst_start[static_cast<std::size_t>(v)] = worst_start;
+    result.copy_worst_finish[static_cast<std::size_t>(v)] = worst_finish;
+  } else {
+    result.msg_worst_ready[static_cast<std::size_t>(v - a.copy_count)] =
+        worst_start;
+  }
+}
+
+WcslResult make_result(const Application& app, const Augmented& a) {
+  WcslResult result;
+  result.process_finish.assign(static_cast<std::size_t>(app.process_count()),
+                               0);
+  result.copy_worst_start.assign(static_cast<std::size_t>(a.copy_count), 0);
+  result.copy_worst_finish.assign(static_cast<std::size_t>(a.copy_count), 0);
+  result.msg_worst_ready.assign(static_cast<std::size_t>(a.msg_count), 0);
+  return result;
+}
+
+}  // namespace
+
+WcslResult worst_case_schedule_length(const Application& app,
+                                      const Architecture& arch,
+                                      const PolicyAssignment& assignment,
+                                      const FaultModel& model,
+                                      const ListSchedule& schedule) {
+  model.validate();
+  const int k = model.k;
+  const Augmented a = build_augmented(app, arch, assignment, k, schedule);
+  const int total = a.g.vertex_count();
+
+  // Budgeted longest-path DP in topological order.
+  // best_in[v][b] = max over predecessors p of L(p, b); L(v,b) computed from
+  // it.  Faults spent on a transmission never help the adversary (constant
+  // weight), so the DP naturally assigns f = 0 there.
+  std::vector<std::vector<Time>> L(
+      static_cast<std::size_t>(total),
+      std::vector<Time>(static_cast<std::size_t>(k) + 1, 0));
+  WcslResult result = make_result(app, a);
+
+  for (int v : a.g.topological_order()) {
+    std::vector<Time> best_in(static_cast<std::size_t>(k) + 1, 0);
+    for (int p : a.g.predecessors(v)) {
+      for (int b = 0; b <= k; ++b) {
+        best_in[static_cast<std::size_t>(b)] = std::max(
+            best_in[static_cast<std::size_t>(b)],
+            L[static_cast<std::size_t>(p)][static_cast<std::size_t>(b)]);
+      }
+    }
+    // best_in is nondecreasing in b by construction of L.
+    for (int b = 0; b <= k; ++b) {
+      Time best = 0;
+      for (int f = 0; f <= b; ++f) {
+        const Time start =
+            std::max(a.release[static_cast<std::size_t>(v)],
+                     best_in[static_cast<std::size_t>(b - f)]);
+        best = std::max(best, start + a.weight[static_cast<std::size_t>(v)]
+                                              [static_cast<std::size_t>(f)]);
+      }
+      L[static_cast<std::size_t>(v)][static_cast<std::size_t>(b)] = best;
+    }
+    const Time worst =
+        L[static_cast<std::size_t>(v)][static_cast<std::size_t>(k)];
+    const Time worst_start = std::max(a.release[static_cast<std::size_t>(v)],
+                                      best_in[static_cast<std::size_t>(k)]);
+    fill_result_vertex(result, schedule, a, v, worst_start, worst);
+  }
+  return result;
+}
+
+WcslResult worst_case_transparent(const Application& app,
+                                  const Architecture& arch,
+                                  const PolicyAssignment& assignment,
+                                  const FaultModel& model,
+                                  const ListSchedule& schedule) {
+  model.validate();
+  const int k = model.k;
+  const Augmented a = build_augmented(app, arch, assignment, k, schedule);
+  const int total = a.g.vertex_count();
+
+  // Transparent (root-schedule) analysis: the start of every vertex must
+  // hold in *every* scenario, and every vertex must be able to absorb all k
+  // faults locally inside its slack.  Budgets therefore do not split along
+  // a path: plain longest path with full-k weights.
+  std::vector<Time> start(static_cast<std::size_t>(total), 0);
+  std::vector<Time> finish(static_cast<std::size_t>(total), 0);
+  WcslResult result = make_result(app, a);
+
+  for (int v : a.g.topological_order()) {
+    Time s = a.release[static_cast<std::size_t>(v)];
+    for (int p : a.g.predecessors(v)) {
+      s = std::max(s, finish[static_cast<std::size_t>(p)]);
+    }
+    start[static_cast<std::size_t>(v)] = s;
+    finish[static_cast<std::size_t>(v)] =
+        s + a.weight[static_cast<std::size_t>(v)][static_cast<std::size_t>(k)];
+    fill_result_vertex(result, schedule, a, v, s,
+                       finish[static_cast<std::size_t>(v)]);
+  }
+  return result;
+}
+
+WcslResult evaluate_wcsl(const Application& app, const Architecture& arch,
+                         const PolicyAssignment& assignment,
+                         const FaultModel& model) {
+  const ListSchedule schedule = list_schedule(app, arch, assignment);
+  return worst_case_schedule_length(app, arch, assignment, model, schedule);
+}
+
+}  // namespace ftes

@@ -1,0 +1,78 @@
+// Worst-case schedule length (WCSL) under at most k transient faults.
+//
+// Analysis used inside the design-space exploration of Section 6 (the
+// optimizers call it tens of thousands of times, so it must be fast).
+//
+// Model (DESIGN.md Section 4).  Starting from the fault-free list schedule
+// we build the *resource-augmented* DAG: data-precedence edges
+// (producer copy -> its bus transmissions -> consumer copies) plus resource
+// edges chaining consecutive executions on each node and consecutive
+// transmissions on the bus.  Delays caused by faults serialize along such
+// chains, so the adversarial makespan is the budgeted longest path
+//
+//     L(v, b) = max_{0 <= f <= b} [ w_v(f) + max(rel_v, max_{p in pred(v)}
+//                                                 L(p, b - f)) ]
+//     WCSL    = max_v L(v, k)
+//
+// where w_v(f) for a checkpointed copy is E(n, min(f, R)) -- beyond R
+// recoveries the copy is dead and stops delaying its timeline -- a pure
+// replica contributes C regardless (a fault kills it; consumers wait for
+// the slowest copy, which is already in the DAG via the all-copies join),
+// and a bus transmission contributes its worst-case TDMA duration.
+//
+// Conservative choices (both standard in [13,16]): the static order of the
+// fault-free schedule is kept (the run-time scheduler can only do better),
+// and transmissions pay the full worst-case round wait.
+#pragma once
+
+#include "app/application.h"
+#include "arch/architecture.h"
+#include "fault/fault_model.h"
+#include "fault/policy.h"
+#include "sched/list_scheduler.h"
+
+namespace ftes {
+
+struct WcslResult {
+  Time makespan = 0;
+  /// Worst-case finish per process (max over copies), indexed by ProcessId;
+  /// used for local deadline checks.
+  std::vector<Time> process_finish;
+
+  /// Per-copy worst-case start/finish, aligned with ListSchedule::copies.
+  /// The start is the latest time the copy can be forced to begin by k
+  /// adversarial faults; root schedules (sched/root_schedule.h) pin copies
+  /// to exactly these times.
+  std::vector<Time> copy_worst_start;
+  std::vector<Time> copy_worst_finish;
+  /// Per-transmission worst-case ready time, aligned with
+  /// ListSchedule::messages.
+  std::vector<Time> msg_worst_ready;
+
+  [[nodiscard]] bool meets_deadlines(const Application& app) const;
+};
+
+/// Budgeted longest-path analysis over an existing fault-free schedule.
+[[nodiscard]] WcslResult worst_case_schedule_length(
+    const Application& app, const Architecture& arch,
+    const PolicyAssignment& assignment, const FaultModel& model,
+    const ListSchedule& schedule);
+
+/// Transparent-recovery analysis: start times that hold in *every* scenario
+/// with every copy absorbing all k faults locally (no budget split along
+/// paths).  This is the timing law of root schedules
+/// (sched/root_schedule.h); it dominates worst_case_schedule_length and the
+/// gap is exactly the price of full transparency.
+[[nodiscard]] WcslResult worst_case_transparent(
+    const Application& app, const Architecture& arch,
+    const PolicyAssignment& assignment, const FaultModel& model,
+    const ListSchedule& schedule);
+
+/// Convenience: list-schedule then analyze.  This is the objective function
+/// of every optimizer in src/opt.
+[[nodiscard]] WcslResult evaluate_wcsl(const Application& app,
+                                       const Architecture& arch,
+                                       const PolicyAssignment& assignment,
+                                       const FaultModel& model);
+
+}  // namespace ftes

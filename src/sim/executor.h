@@ -1,0 +1,54 @@
+// Table-driven execution checker: the run-time side of Section 5.2.
+//
+// A distributed run-time scheduler on each node owns its slice of the
+// schedule tables and activates processes/messages when the already-known
+// condition values match a column guard.  This module *executes* a
+// synthesized schedule under an injected fault scenario and verifies the
+// properties the paper promises:
+//
+//   1. every process is completed by a surviving copy and the application
+//      finishes by the deadline (and local deadlines) in *every* admissible
+//      scenario of at most k faults;
+//   2. every activation performed corresponds to a table entry whose guard
+//      is entailed by the condition values revealed before the activation
+//      (quasi-static consistency: the scheduler never acts on unknown
+//      conditions);
+//   3. transparency: every frozen process/message has exactly one start
+//      time across all scenarios.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "app/application.h"
+#include "arch/architecture.h"
+#include "fault/fault_model.h"
+#include "fault/policy.h"
+#include "fault/scenario.h"
+#include "sched/cond_scheduler.h"
+
+namespace ftes {
+
+struct ExecutionReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+  Time completion = 0;  ///< worst completion over checked scenarios
+
+  void fail(std::string what) {
+    ok = false;
+    violations.push_back(std::move(what));
+  }
+};
+
+/// Executes the scenario embedded in `trace` against the tables and checks
+/// properties 1-2 for it.
+[[nodiscard]] ExecutionReport execute_scenario(
+    const Application& app, const PolicyAssignment& assignment,
+    const CondScheduleResult& schedule, const ScenarioTrace& trace);
+
+/// Runs properties 1-3 over every scenario covered by the schedule.
+[[nodiscard]] ExecutionReport check_all_scenarios(
+    const Application& app, const PolicyAssignment& assignment,
+    const CondScheduleResult& schedule);
+
+}  // namespace ftes

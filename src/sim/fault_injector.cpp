@@ -1,0 +1,35 @@
+#include "sim/fault_injector.h"
+
+namespace ftes {
+
+FaultScenario random_scenario(const Application& app,
+                              const PolicyAssignment& assignment, int faults,
+                              Rng& rng) {
+  std::vector<CopyRef> copies;
+  for (int i = 0; i < app.process_count(); ++i) {
+    const ProcessId pid{i};
+    for (int j = 0; j < assignment.plan(pid).copy_count(); ++j) {
+      copies.push_back(CopyRef{pid, j});
+    }
+  }
+  FaultScenario scenario;
+  for (int f = 0; f < faults && !copies.empty(); ++f) {
+    scenario.add_fault(copies[rng.index(copies.size())]);
+  }
+  return scenario;
+}
+
+std::vector<FaultScenario> random_scenarios(const Application& app,
+                                            const PolicyAssignment& assignment,
+                                            const FaultModel& model, int count,
+                                            Rng& rng) {
+  std::vector<FaultScenario> result;
+  result.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const int faults = static_cast<int>(rng.uniform_int(0, model.k));
+    result.push_back(random_scenario(app, assignment, faults, rng));
+  }
+  return result;
+}
+
+}  // namespace ftes

@@ -1,0 +1,31 @@
+// Random fault injection for property-based testing.
+//
+// Samples admissible fault scenarios (at most k transient faults anywhere in
+// the system, Section 2's fault model) so tests can exercise schedules and
+// analyses on scenarios drawn uniformly-ish at random rather than only
+// exhaustively for tiny k.
+#pragma once
+
+#include <vector>
+
+#include "app/application.h"
+#include "fault/fault_model.h"
+#include "fault/policy.h"
+#include "fault/scenario.h"
+#include "util/random.h"
+
+namespace ftes {
+
+/// Draws a scenario with exactly `faults` hits (<= model.k) distributed
+/// uniformly over all copies of the assignment (with replacement: the same
+/// copy can be struck repeatedly, matching the paper's fault model).
+[[nodiscard]] FaultScenario random_scenario(const Application& app,
+                                            const PolicyAssignment& assignment,
+                                            int faults, Rng& rng);
+
+/// A batch of scenarios with fault counts drawn uniformly from [0, model.k].
+[[nodiscard]] std::vector<FaultScenario> random_scenarios(
+    const Application& app, const PolicyAssignment& assignment,
+    const FaultModel& model, int count, Rng& rng);
+
+}  // namespace ftes

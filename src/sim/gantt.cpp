@@ -1,0 +1,74 @@
+#include "sim/gantt.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace ftes {
+
+std::string render_gantt(const Application& app, const Architecture& arch,
+                         const PolicyAssignment& assignment,
+                         const ScenarioTrace& trace,
+                         const GanttOptions& options) {
+  Time horizon = 1;
+  for (const ExecTrace& e : trace.execs) horizon = std::max(horizon, e.end);
+  for (const TxTrace& t : trace.txs) horizon = std::max(horizon, t.finish);
+
+  const int width = std::max(options.width, 10);
+  const double scale = static_cast<double>(width) / static_cast<double>(horizon);
+  auto col = [&](Time t) {
+    return std::min(width - 1,
+                    static_cast<int>(static_cast<double>(t) * scale));
+  };
+
+  std::ostringstream out;
+  out << "scenario " << trace.scenario.to_string(app) << ", makespan "
+      << trace.makespan << ":\n";
+
+  for (int n = 0; n < arch.node_count(); ++n) {
+    std::string lane(static_cast<std::size_t>(width), '.');
+    std::vector<std::string> labels;
+    for (const ExecTrace& e : trace.execs) {
+      const NodeId node = assignment.plan(e.copy.process)
+                              .copies.at(static_cast<std::size_t>(e.copy.copy))
+                              .node;
+      if (node.get() != n) continue;
+      const int from = col(e.start);
+      const int to = std::max(from, col(e.end) - 1);
+      // Fault-free part '#', recovery part 'x'.
+      const Time first_recovery =
+          e.attempt_starts.size() > 1 ? e.attempt_starts[1] : e.end;
+      for (int c = from; c <= to; ++c) {
+        const Time t = static_cast<Time>(c / scale);
+        lane[static_cast<std::size_t>(c)] = t >= first_recovery ? 'x' : '#';
+      }
+      if (e.died) lane[static_cast<std::size_t>(to)] = '!';
+      std::ostringstream lbl;
+      lbl << app.process(e.copy.process).name;
+      if (assignment.plan(e.copy.process).copy_count() > 1) {
+        lbl << "(" << e.copy.copy + 1 << ")";
+      }
+      lbl << "@" << e.start;
+      labels.push_back(lbl.str());
+    }
+    out << "  " << arch.node(NodeId{n}).name << " |" << lane << "|";
+    for (const std::string& l : labels) out << " " << l;
+    out << "\n";
+  }
+
+  std::string bus_lane(static_cast<std::size_t>(width), '.');
+  for (const TxTrace& t : trace.txs) {
+    const char mark = t.is_condition ? '-' : '=';
+    const int from = col(t.start);
+    const int to = std::max(from, col(t.finish) - 1);
+    for (int c = from; c <= to; ++c) {
+      bus_lane[static_cast<std::size_t>(c)] = mark;
+    }
+  }
+  const std::size_t name_width = arch.node(NodeId{0}).name.size();
+  out << "  bus" << std::string(name_width > 3 ? name_width - 3 : 0, ' ')
+      << " |" << bus_lane << "| (= data, - condition)\n";
+  return out.str();
+}
+
+}  // namespace ftes

@@ -1,0 +1,44 @@
+// Minimal leveled logger.  Benchmarks and the tabu search use it to trace
+// progress without polluting stdout (which carries the reproduced tables).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ftes {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.  Default: kWarn, so
+/// library code is silent in tests/benches unless something is wrong.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style logger: LOG(kInfo) << "moved " << p << " to " << n;
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() {
+    if (level_ >= log_level()) detail::log_line(level_, out_.str());
+  }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <class T>
+  LogStream& operator<<(const T& v) {
+    if (level_ >= log_level()) out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+
+}  // namespace ftes
+
+#define FTES_LOG(level) ::ftes::LogStream(::ftes::LogLevel::level)

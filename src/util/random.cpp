@@ -1,0 +1,28 @@
+#include "util/random.h"
+
+#include <cassert>
+
+namespace ftes {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+bool Rng::chance(double probability) {
+  if (probability <= 0.0) return false;
+  if (probability >= 1.0) return true;
+  return std::bernoulli_distribution(probability)(engine_);
+}
+
+std::size_t Rng::index(std::size_t size) {
+  assert(size > 0);
+  return static_cast<std::size_t>(
+      std::uniform_int_distribution<std::size_t>(0, size - 1)(engine_));
+}
+
+}  // namespace ftes

@@ -1,0 +1,43 @@
+// Deterministic random source used by the generator and the optimizers.
+//
+// A thin wrapper over std::mt19937_64 so every experiment is reproducible
+// from a single seed printed in its header line.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace ftes {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0xF7E5'2008'DA7Eull) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial.
+  bool chance(double probability);
+
+  /// Uniformly chosen index into a container of the given size (> 0).
+  std::size_t index(std::size_t size);
+
+  /// Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ftes

@@ -1,0 +1,57 @@
+// Basic time and identifier types shared by every ftes module.
+//
+// All times are integer ticks; in examples and benchmarks one tick is
+// interpreted as one millisecond, matching the units used throughout the
+// DATE'08 paper (e.g. C1 = 60 ms, alpha = 10 ms in its Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace ftes {
+
+/// Discrete time in ticks (1 tick == 1 ms in all shipped experiments).
+using Time = std::int64_t;
+
+/// Sentinel for "not yet scheduled" / "unreachable".
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max() / 4;
+
+/// A strongly typed index.  Distinct Tag types make ProcessId, NodeId,
+/// MessageId etc. non-interchangeable at compile time while keeping the
+/// runtime representation a plain 32-bit index into a vector.
+template <class Tag>
+struct Id {
+  std::int32_t value = -1;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::int32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value >= 0; }
+  [[nodiscard]] constexpr std::int32_t get() const { return value; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value == b.value; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value != b.value; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value < b.value; }
+};
+
+struct ProcessTag {};
+struct MessageTag {};
+struct NodeTag {};
+
+/// Index of a process in Application::processes().
+using ProcessId = Id<ProcessTag>;
+/// Index of a message in Application::messages().
+using MessageId = Id<MessageTag>;
+/// Index of a computation node in Architecture::nodes().
+using NodeId = Id<NodeTag>;
+
+}  // namespace ftes
+
+// Hash support so ids can key unordered containers.
+template <class Tag>
+struct std::hash<ftes::Id<Tag>> {
+  std::size_t operator()(ftes::Id<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,130 @@
+// Tests of the problem-file parser (src/io).
+#include "io/app_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace ftes {
+namespace {
+
+constexpr const char* kFig5 = R"(
+# Fig. 5 example
+arch nodes=2 slot=5
+k 2
+deadline 500
+
+process P1 wcet N1=30 N2=30 alpha=5 mu=0 chi=0
+process P2 wcet N1=25 N2=25 alpha=5
+process P3 wcet N1=25 N2=25 alpha=5 frozen
+process P4 wcet N1=30 N2=30 alpha=5
+
+message m0 P1 P2
+message m1 P1 P4 size=2
+message m2 P2 P3 frozen
+message m3 P4 P3 frozen
+)";
+
+TEST(AppParser, ParsesFig5) {
+  const ParsedProblem p = parse_problem_string(kFig5);
+  EXPECT_EQ(p.app.process_count(), 4);
+  EXPECT_EQ(p.app.message_count(), 4);
+  EXPECT_EQ(p.arch.node_count(), 2);
+  EXPECT_EQ(p.model.k, 2);
+  EXPECT_EQ(p.app.deadline(), 500);
+  EXPECT_TRUE(p.app.process(ProcessId{2}).frozen);
+  EXPECT_FALSE(p.app.process(ProcessId{0}).frozen);
+  EXPECT_EQ(p.app.message(MessageId{1}).size, 2);
+  EXPECT_TRUE(p.app.message(MessageId{2}).frozen);
+  EXPECT_EQ(p.app.process(ProcessId{0}).wcet_on(NodeId{1}), 30);
+  EXPECT_EQ(p.app.process(ProcessId{0}).alpha, 5);
+}
+
+TEST(AppParser, ParsesMappingRestrictionAndAttributes) {
+  const ParsedProblem p = parse_problem_string(R"(
+arch nodes=3 slot=4 payload=2
+k 1
+deadline 100
+process A wcet N1=10 N3=12 map=N1 deadline=50 release=5
+process B wcet N2=20 soft=7:40:20
+message m A B
+)");
+  const Process& a = p.app.process(ProcessId{0});
+  EXPECT_FALSE(a.can_run_on(NodeId{1}));  // N2 restricted
+  EXPECT_EQ(a.fixed_mapping, NodeId{0});
+  EXPECT_EQ(a.local_deadline, 50);
+  EXPECT_EQ(a.release, 5);
+  const Process& b = p.app.process(ProcessId{1});
+  ASSERT_TRUE(b.soft.has_value());
+  EXPECT_DOUBLE_EQ(b.soft->utility, 7.0);
+  EXPECT_EQ(b.soft->soft_deadline, 40);
+  EXPECT_EQ(b.soft->window, 20);
+  EXPECT_EQ(p.arch.bus().slot_payload(), 2);
+}
+
+TEST(AppParser, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_problem_string("arch nodes=2 slot=5\nk 1\nbogus directive\n");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(AppParser, RejectsUnknownProcessInMessage) {
+  EXPECT_THROW(parse_problem_string(R"(
+arch nodes=1 slot=5
+k 0
+deadline 10
+process A wcet N1=5
+message m A Z
+)"),
+               std::invalid_argument);
+}
+
+TEST(AppParser, RejectsNodeOutOfRange) {
+  EXPECT_THROW(parse_problem_string(R"(
+arch nodes=2 slot=5
+k 0
+deadline 10
+process A wcet N3=5
+)"),
+               std::invalid_argument);
+}
+
+TEST(AppParser, RejectsDuplicateProcess) {
+  EXPECT_THROW(parse_problem_string(R"(
+arch nodes=1 slot=5
+k 0
+deadline 10
+process A wcet N1=5
+process A wcet N1=6
+)"),
+               std::invalid_argument);
+}
+
+TEST(AppParser, RequiresArchAndDeadline) {
+  EXPECT_THROW(parse_problem_string("k 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_problem_string("arch nodes=1 slot=5\nprocess A wcet N1=5\n"),
+               std::invalid_argument);
+}
+
+TEST(AppParser, RejectsProcessBeforeArch) {
+  EXPECT_THROW(parse_problem_string("process A wcet N1=5\n"),
+               std::invalid_argument);
+}
+
+TEST(AppParser, CommentsAndBlankLinesIgnored)
+{
+  const ParsedProblem p = parse_problem_string(R"(
+# leading comment
+
+arch nodes=1 slot=5   # trailing comment
+k 0
+
+deadline 10
+process A wcet N1=5   # another
+)");
+  EXPECT_EQ(p.app.process_count(), 1);
+}
+
+}  // namespace
+}  // namespace ftes

@@ -1,0 +1,95 @@
+// Tests of the table-driven execution checker (Section 5.2 run-time side).
+#include "sim/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "sim/fault_injector.h"
+
+namespace ftes {
+namespace {
+
+using ::ftes::testing::fig5_app;
+
+TEST(Executor, AllScenariosPassOnSynthesizedTables) {
+  auto f = fig5_app();
+  const CondScheduleResult r =
+      conditional_schedule(f.app, f.arch, f.assignment, f.model);
+  const ExecutionReport report = check_all_scenarios(f.app, f.assignment, r);
+  EXPECT_TRUE(report.ok);
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_EQ(report.completion, r.wcsl);
+}
+
+TEST(Executor, DetectsMissedDeadline) {
+  auto f = fig5_app();
+  const CondScheduleResult r =
+      conditional_schedule(f.app, f.arch, f.assignment, f.model);
+  f.app.set_deadline(r.wcsl - 1);  // now the worst scenario must fail
+  const ExecutionReport report = check_all_scenarios(f.app, f.assignment, r);
+  EXPECT_FALSE(report.ok);
+  bool mentions_deadline = false;
+  for (const std::string& v : report.violations) {
+    if (v.find("deadline") != std::string::npos) mentions_deadline = true;
+  }
+  EXPECT_TRUE(mentions_deadline);
+}
+
+TEST(Executor, DetectsTamperedTables) {
+  auto f = fig5_app();
+  CondScheduleResult r =
+      conditional_schedule(f.app, f.arch, f.assignment, f.model);
+  // Remove P1's row from N1's table: its activations become orphans.
+  r.tables.node_rows[0].erase("P1");
+  const ExecutionReport report = check_all_scenarios(f.app, f.assignment, r);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(Executor, DetectsBrokenTransparency) {
+  auto f = fig5_app();
+  // Sabotage: schedule without honouring transparency, then check against
+  // the transparency requirement -- the checker must object.
+  CondScheduleOptions opts;
+  opts.respect_transparency = false;
+  const CondScheduleResult r =
+      conditional_schedule(f.app, f.arch, f.assignment, f.model, opts);
+  const ExecutionReport report = check_all_scenarios(f.app, f.assignment, r);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(FaultInjector, ScenariosRespectBudget) {
+  auto f = fig5_app();
+  Rng rng(7);
+  const auto scenarios =
+      random_scenarios(f.app, f.assignment, f.model, 200, rng);
+  EXPECT_EQ(scenarios.size(), 200u);
+  for (const FaultScenario& s : scenarios) {
+    EXPECT_LE(s.total_faults(), f.model.k);
+  }
+}
+
+TEST(FaultInjector, ExactFaultCount) {
+  auto f = fig5_app();
+  Rng rng(11);
+  for (int n = 0; n <= 2; ++n) {
+    const FaultScenario s = random_scenario(f.app, f.assignment, n, rng);
+    EXPECT_EQ(s.total_faults(), n);
+  }
+}
+
+TEST(FaultInjector, HitsOnlyExistingCopies) {
+  auto f = fig5_app();
+  Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    const FaultScenario s = random_scenario(f.app, f.assignment, 2, rng);
+    for (const auto& [ref, count] : s.hits()) {
+      ASSERT_GE(ref.process.get(), 0);
+      ASSERT_LT(ref.process.get(), f.app.process_count());
+      EXPECT_LT(ref.copy, f.assignment.plan(ref.process).copy_count());
+      EXPECT_GT(count, 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftes

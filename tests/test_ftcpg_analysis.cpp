@@ -1,0 +1,86 @@
+// Tests of the FT-CPG analyses and the bound triangle
+// FT-CPG critical path <= scenario-exact WCSL <= budgeted-DP WCSL.
+#include "ftcpg/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "fault/recovery.h"
+#include "fixtures.h"
+#include "ftcpg/builder.h"
+#include "sched/cond_scheduler.h"
+#include "sched/wcsl.h"
+
+namespace ftes {
+namespace {
+
+using ::ftes::testing::fig5_app;
+
+TEST(FtcpgAnalysis, ChainWeightsSumToRecoveryAlgebra) {
+  auto f = fig5_app();
+  const Ftcpg g = build_ftcpg(f.app, f.assignment, f.model);
+  // P1's chain: E(1,0) + 2 * (seg + alpha + mu) == E(1,2).
+  Time chain = 0;
+  for (int v : g.copies_of(f.p1)) {
+    chain += ftcpg_vertex_weight(g, v, f.app, f.assignment);
+  }
+  const Process& p1 = f.app.process(f.p1);
+  RecoveryParams params{p1.wcet_on(NodeId{0}), p1.alpha, p1.mu, p1.chi};
+  EXPECT_EQ(chain, checkpointed_exec_time(params, 1, 2));
+}
+
+TEST(FtcpgAnalysis, SyncNodesAreFree) {
+  auto f = fig5_app();
+  const Ftcpg g = build_ftcpg(f.app, f.assignment, f.model);
+  for (int v = 0; v < g.node_count(); ++v) {
+    if (g.node(v).kind == FtcpgNodeKind::kSynchronization) {
+      EXPECT_EQ(ftcpg_vertex_weight(g, v, f.app, f.assignment), 0);
+    }
+  }
+}
+
+TEST(FtcpgAnalysis, BoundTriangleHolds) {
+  auto f = fig5_app();
+  const Ftcpg g = build_ftcpg(f.app, f.assignment, f.model);
+  const Time lower = ftcpg_critical_path(g, f.app, f.assignment, f.model);
+
+  CondScheduleOptions opts;
+  opts.respect_transparency = false;
+  opts.schedule_condition_broadcasts = false;
+  const Time exact =
+      conditional_schedule(f.app, f.arch, f.assignment, f.model, opts).wcsl;
+  const Time upper = evaluate_wcsl(f.app, f.arch, f.assignment, f.model).makespan;
+
+  EXPECT_LE(lower, exact);
+  EXPECT_LE(exact, upper);
+  EXPECT_GT(lower, 0);
+}
+
+TEST(FtcpgAnalysis, CriticalPathGrowsWithFaults) {
+  auto f = fig5_app();
+  Time prev = 0;
+  for (int k = 0; k <= 3; ++k) {
+    PolicyAssignment pa(f.app.process_count());
+    for (int i = 0; i < f.app.process_count(); ++i) {
+      ProcessPlan plan = make_checkpointing_plan(k, 1);
+      plan.copies[0].node = f.assignment.plan(ProcessId{i}).copies[0].node;
+      pa.plan(ProcessId{i}) = plan;
+    }
+    const Ftcpg g = build_ftcpg(f.app, pa, FaultModel{k});
+    const Time cp = ftcpg_critical_path(g, f.app, pa, FaultModel{k});
+    EXPECT_GE(cp, prev) << "k=" << k;
+    prev = cp;
+  }
+}
+
+TEST(FtcpgAnalysis, ScenarioWidthMatchesContexts) {
+  auto f = fig5_app();
+  const Ftcpg g = build_ftcpg(f.app, f.assignment, f.model);
+  // Every copy of P2 carries a distinct guard (6 contexts); frozen P3's
+  // three copies are distinguished only by its own fault literals.
+  EXPECT_EQ(ftcpg_scenario_width(g, f.p2), 6);
+  EXPECT_EQ(ftcpg_scenario_width(g, f.p3), 3);
+  EXPECT_EQ(ftcpg_scenario_width(g, f.p1), 3);
+}
+
+}  // namespace
+}  // namespace ftes

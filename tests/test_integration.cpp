@@ -1,0 +1,214 @@
+// Cross-module integration tests: merged periodic applications through the
+// full synthesis pipeline, hybrid policies through the conditional
+// scheduler, designer-fixed policies through the optimizer, and the
+// export/validation loop.
+#include <gtest/gtest.h>
+
+#include "app/merge.h"
+#include "core/synthesis.h"
+#include "io/app_parser.h"
+#include "opt/baselines.h"
+#include "opt/bus_opt.h"
+#include "sched/root_schedule.h"
+#include "sched/table_export.h"
+#include "sim/executor.h"
+
+namespace ftes {
+namespace {
+
+Application control_chain(const std::string& prefix, Time base) {
+  Application app;
+  const NodeId n1{0}, n2{1};
+  const ProcessId a =
+      app.add_process(prefix + "_in", {{n1, base}, {n2, base + 5}}, 2, 2, 2);
+  const ProcessId b = app.add_process(prefix + "_calc",
+                                      {{n1, 2 * base}, {n2, 2 * base}}, 2, 2, 2);
+  const ProcessId c =
+      app.add_process(prefix + "_out", {{n1, base}, {n2, base}}, 2, 2, 2);
+  app.connect(a, b);
+  app.connect(b, c);
+  return app;
+}
+
+TEST(Integration, MergedPeriodicAppsSynthesizeAndValidate) {
+  const Application merged =
+      merge({PeriodicApplication{control_chain("fast", 8), 200},
+             PeriodicApplication{control_chain("slow", 12), 400}});
+  const Architecture arch = Architecture::homogeneous(2, 4);
+  SynthesisOptions opts;
+  opts.fault_model.k = 2;
+  opts.optimize.iterations = 60;
+  opts.optimize.seed = 77;
+  const SynthesisResult r = synthesize(merged, arch, opts);
+  EXPECT_TRUE(r.schedulable);
+  ASSERT_TRUE(r.schedule.has_value());
+  const ExecutionReport report =
+      check_all_scenarios(merged, r.assignment, *r.schedule);
+  EXPECT_TRUE(report.ok) << (report.violations.empty()
+                                 ? ""
+                                 : report.violations.front());
+  // Release offsets respected: the second fast instance never starts
+  // before 200.
+  for (const ScenarioTrace& tr : r.schedule->traces) {
+    for (const ExecTrace& e : tr.execs) {
+      const Process& p = merged.process(e.copy.process);
+      EXPECT_GE(e.start, p.release) << p.name;
+    }
+  }
+}
+
+TEST(Integration, HybridPolicyThroughConditionalScheduler) {
+  Application app = control_chain("h", 10);
+  app.set_deadline(2000);
+  const Architecture arch = Architecture::homogeneous(2, 4);
+  const FaultModel fm{2};
+  PolicyAssignment pa(app.process_count());
+  // _in: hybrid (1 replica + 1 recovery); _calc: checkpointing; _out:
+  // replication.
+  {
+    ProcessPlan plan = make_hybrid_plan(2, 1, 2);
+    plan.copies[0].node = NodeId{0};
+    plan.copies[1].node = NodeId{1};
+    pa.plan(ProcessId{0}) = plan;
+  }
+  {
+    ProcessPlan plan = make_checkpointing_plan(2, 2);
+    plan.copies[0].node = NodeId{0};
+    pa.plan(ProcessId{1}) = plan;
+  }
+  {
+    ProcessPlan plan = make_replication_plan(2);
+    plan.copies[0].node = NodeId{0};
+    plan.copies[1].node = NodeId{1};
+    plan.copies[2].node = NodeId{0};
+    pa.plan(ProcessId{2}) = plan;
+  }
+  const CondScheduleResult r = conditional_schedule(app, arch, pa, fm);
+  const ExecutionReport report = check_all_scenarios(app, pa, r);
+  EXPECT_TRUE(report.ok) << (report.violations.empty()
+                                 ? ""
+                                 : report.violations.front());
+  // Every process completes in every scenario despite copy deaths.
+  for (const ScenarioTrace& tr : r.traces) {
+    std::vector<bool> done(3, false);
+    for (const ExecTrace& e : tr.execs) {
+      if (!e.died) done[static_cast<std::size_t>(e.copy.process.get())] = true;
+    }
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_TRUE(done[static_cast<std::size_t>(i)])
+          << tr.scenario.to_string(app);
+    }
+  }
+}
+
+TEST(Integration, DesignerFixedPolicyHonoured) {
+  Application app = control_chain("f", 10);
+  app.set_deadline(2000);
+  app.process(ProcessId{0}).fixed_policy = PolicyKind::kReplication;
+  const Architecture arch = Architecture::homogeneous(2, 4);
+  const FaultModel fm{2};
+  OptimizeOptions opts;
+  opts.iterations = 60;
+  opts.seed = 3;
+  const OptimizeResult r = optimize_policy_and_mapping(app, arch, fm, opts);
+  EXPECT_EQ(r.assignment.plan(ProcessId{0}).kind, PolicyKind::kReplication);
+  EXPECT_NO_THROW(r.assignment.validate(app, fm));
+}
+
+TEST(Integration, FixedPolicyViolationRejected) {
+  Application app = control_chain("v", 10);
+  app.set_deadline(2000);
+  app.process(ProcessId{0}).fixed_policy = PolicyKind::kReplication;
+  const FaultModel fm{1};
+  PolicyAssignment pa(app.process_count());
+  for (int i = 0; i < 3; ++i) {
+    ProcessPlan plan = make_checkpointing_plan(1, 1);
+    plan.copies[0].node = NodeId{0};
+    pa.plan(ProcessId{i}) = plan;
+  }
+  EXPECT_THROW(pa.validate(app, fm), std::invalid_argument);
+}
+
+TEST(Integration, ParserFixedPolicyRoundTrip) {
+  const ParsedProblem p = parse_problem_string(R"(
+arch nodes=2 slot=5
+k 1
+deadline 400
+process A wcet N1=10 N2=10 policy=replication
+process B wcet N1=10 N2=10 policy=checkpointing
+message m A B
+)");
+  EXPECT_EQ(p.app.process(ProcessId{0}).fixed_policy,
+            PolicyKind::kReplication);
+  EXPECT_EQ(p.app.process(ProcessId{1}).fixed_policy,
+            PolicyKind::kCheckpointing);
+  OptimizeOptions opts;
+  opts.iterations = 30;
+  const OptimizeResult r =
+      optimize_policy_and_mapping(p.app, p.arch, p.model, opts);
+  EXPECT_EQ(r.assignment.plan(ProcessId{0}).kind, PolicyKind::kReplication);
+  EXPECT_EQ(r.assignment.plan(ProcessId{1}).kind, PolicyKind::kCheckpointing);
+}
+
+TEST(Integration, BusOptComposesWithSynthesis) {
+  Application app = control_chain("b", 10);
+  app.set_deadline(4000);
+  Architecture arch = Architecture::homogeneous(2, 16);  // oversized slots
+  const FaultModel fm{2};
+  OptimizeOptions opts;
+  opts.iterations = 40;
+  const OptimizeResult mapped = optimize_policy_and_mapping(app, arch, fm, opts);
+  BusOptOptions bus_opts;
+  bus_opts.iterations = 60;
+  const BusOptResult tuned =
+      optimize_bus_access(app, arch, mapped.assignment, fm, bus_opts);
+  EXPECT_LE(tuned.wcsl_after, tuned.wcsl_before);
+  // Re-synthesizing tables on the tuned architecture still validates.
+  arch.set_bus(tuned.bus);
+  const CondScheduleResult r =
+      conditional_schedule(app, arch, mapped.assignment, fm);
+  EXPECT_TRUE(check_all_scenarios(app, mapped.assignment, r).ok);
+}
+
+TEST(Integration, ExportsAreConsistentWithTables) {
+  Application app = control_chain("e", 10);
+  app.set_deadline(2000);
+  const Architecture arch = Architecture::homogeneous(2, 4);
+  const FaultModel fm{1};
+  PolicyAssignment pa(app.process_count());
+  for (int i = 0; i < 3; ++i) {
+    ProcessPlan plan = make_checkpointing_plan(1, 1);
+    plan.copies[0].node = NodeId{i == 1 ? 1 : 0};
+    pa.plan(ProcessId{i}) = plan;
+  }
+  const CondScheduleResult r = conditional_schedule(app, arch, pa, fm);
+  const std::string json = tables_to_json(r.tables, arch);
+  const std::string c = tables_to_c_source(r.tables, arch);
+  // Every row name appears in both exports.
+  for (const TableRows* rows :
+       {&r.tables.node_rows[0], &r.tables.node_rows[1], &r.tables.bus_rows}) {
+    for (const auto& [name, entries] : *rows) {
+      EXPECT_NE(json.find('"' + name + '"'), std::string::npos) << name;
+      EXPECT_NE(c.find('"' + name + '"'), std::string::npos) << name;
+    }
+  }
+}
+
+TEST(Integration, RootScheduleForMergedApps) {
+  const Application merged =
+      merge({PeriodicApplication{control_chain("r", 8), 300}});
+  const Architecture arch = Architecture::homogeneous(2, 4);
+  const FaultModel fm{2};
+  PolicyAssignment pa(merged.process_count());
+  for (int i = 0; i < merged.process_count(); ++i) {
+    ProcessPlan plan = make_checkpointing_plan(2, 1);
+    plan.copies[0].node = NodeId{0};
+    pa.plan(ProcessId{i}) = plan;
+  }
+  const RootSchedule root = build_root_schedule(merged, arch, pa, fm);
+  const RootValidation v = validate_root_schedule(merged, arch, pa, fm, root);
+  EXPECT_TRUE(v.ok) << (v.violations.empty() ? "" : v.violations.front());
+}
+
+}  // namespace
+}  // namespace ftes

@@ -1,0 +1,155 @@
+// Tests of the policy model F = <P, Q, R, X> (Section 4, Fig. 4) and its
+// tolerance invariant.
+#include "fault/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "fault/scenario.h"
+#include "fixtures.h"
+
+namespace ftes {
+namespace {
+
+using ::ftes::testing::fig3_app;
+using ::ftes::testing::two_node_arch;
+
+TEST(Policy, CheckpointingPlanShape) {
+  const ProcessPlan plan = make_checkpointing_plan(2, 3);
+  EXPECT_EQ(plan.kind, PolicyKind::kCheckpointing);
+  EXPECT_EQ(plan.copy_count(), 1);
+  EXPECT_EQ(plan.replica_count(), 0);       // Q = 0
+  EXPECT_EQ(plan.copies[0].recoveries, 2);  // R = k
+  EXPECT_EQ(plan.copies[0].checkpoints, 3); // X = 3
+  EXPECT_TRUE(plan.tolerates(2));
+}
+
+TEST(Policy, ReplicationPlanShape) {
+  // Fig. 4b: k = 2 -> three copies, R = 0 each.
+  const ProcessPlan plan = make_replication_plan(2);
+  EXPECT_EQ(plan.kind, PolicyKind::kReplication);
+  EXPECT_EQ(plan.copy_count(), 3);
+  EXPECT_EQ(plan.replica_count(), 2);  // Q = k
+  for (const CopyPlan& c : plan.copies) {
+    EXPECT_EQ(c.recoveries, 0);
+    EXPECT_EQ(c.checkpoints, 0);
+  }
+  EXPECT_TRUE(plan.tolerates(2));
+  EXPECT_FALSE(plan.tolerates(3));
+}
+
+TEST(Policy, HybridPlanShape) {
+  // Fig. 4c: k = 2, one extra replica, one recovery in total.
+  const ProcessPlan plan = make_hybrid_plan(2, 1, 1);
+  EXPECT_EQ(plan.kind, PolicyKind::kReplicationAndCheckpointing);
+  EXPECT_EQ(plan.copy_count(), 2);
+  EXPECT_EQ(plan.total_recoveries(), 1);
+  EXPECT_TRUE(plan.tolerates(2));
+}
+
+TEST(Policy, HybridRejectsDegenerateQ) {
+  EXPECT_THROW(make_hybrid_plan(2, 0, 1), std::invalid_argument);
+  EXPECT_THROW(make_hybrid_plan(2, 2, 1), std::invalid_argument);
+}
+
+// Property (Section 4 / DESIGN.md): the closed-form invariant
+// copies + total recoveries >= k+1 holds exactly when every adversarial
+// split of k faults leaves a surviving copy.
+class ToleranceInvariant
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ToleranceInvariant, MatchesExhaustiveAdversary) {
+  const auto [k, copies, total_recoveries] = GetParam();
+  // Distribute the recoveries in a few shapes and compare invariant vs.
+  // exhaustive enumeration.
+  for (int front = 0; front <= total_recoveries; ++front) {
+    ProcessPlan plan;
+    plan.kind = PolicyKind::kReplicationAndCheckpointing;
+    plan.copies.assign(static_cast<std::size_t>(copies), CopyPlan{});
+    plan.copies[0].recoveries = front;
+    plan.copies[0].checkpoints = front > 0 ? 1 : 0;
+    if (copies > 1) {
+      plan.copies[1].recoveries = total_recoveries - front;
+      plan.copies[1].checkpoints = total_recoveries - front > 0 ? 1 : 0;
+    } else if (front != total_recoveries) {
+      continue;  // cannot place the rest
+    }
+    EXPECT_EQ(plan.tolerates(k), process_tolerates_all_scenarios(plan, k))
+        << "k=" << k << " copies=" << copies << " front=" << front;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ToleranceInvariant,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),   // k
+                       ::testing::Values(1, 2, 3, 5),   // copies
+                       ::testing::Values(0, 1, 2, 4))); // total recoveries
+
+TEST(PolicyAssignment, ValidateAcceptsMappedCheckpointing) {
+  auto f = fig3_app();
+  const FaultModel fm{2};
+  PolicyAssignment pa = uniform_assignment(f.app, make_checkpointing_plan(2, 1));
+  for (int i = 0; i < f.app.process_count(); ++i) {
+    pa.plan(ProcessId{i}).copies[0].node = NodeId{0};
+  }
+  EXPECT_NO_THROW(pa.validate(f.app, fm));
+}
+
+TEST(PolicyAssignment, ValidateRejectsUnmappedCopy) {
+  auto f = fig3_app();
+  PolicyAssignment pa = uniform_assignment(f.app, make_checkpointing_plan(2, 1));
+  EXPECT_THROW(pa.validate(f.app, FaultModel{2}), std::invalid_argument);
+}
+
+TEST(PolicyAssignment, ValidateRejectsRestrictedNode) {
+  auto f = fig3_app();
+  PolicyAssignment pa = uniform_assignment(f.app, make_checkpointing_plan(2, 1));
+  for (int i = 0; i < f.app.process_count(); ++i) {
+    pa.plan(ProcessId{i}).copies[0].node = NodeId{0};
+  }
+  pa.plan(f.p3).copies[0].node = NodeId{1};  // P3 is restricted on N2
+  EXPECT_THROW(pa.validate(f.app, FaultModel{2}), std::invalid_argument);
+}
+
+TEST(PolicyAssignment, ValidateRejectsInsufficientTolerance) {
+  auto f = fig3_app();
+  PolicyAssignment pa = uniform_assignment(f.app, make_checkpointing_plan(1, 1));
+  for (int i = 0; i < f.app.process_count(); ++i) {
+    pa.plan(ProcessId{i}).copies[0].node = NodeId{0};
+  }
+  EXPECT_THROW(pa.validate(f.app, FaultModel{3}), std::invalid_argument);
+}
+
+TEST(PolicyAssignment, ValidateRejectsRecoveryWithoutCheckpoint) {
+  auto f = fig3_app();
+  PolicyAssignment pa = uniform_assignment(f.app, make_checkpointing_plan(2, 1));
+  for (int i = 0; i < f.app.process_count(); ++i) {
+    pa.plan(ProcessId{i}).copies[0].node = NodeId{0};
+  }
+  pa.plan(f.p1).copies[0].checkpoints = 0;  // still has recoveries
+  EXPECT_THROW(pa.validate(f.app, FaultModel{2}), std::invalid_argument);
+}
+
+TEST(PolicyAssignment, ValidateRejectsViolatedFixedMapping) {
+  auto f = fig3_app();
+  f.app.process(f.p1).fixed_mapping = NodeId{1};
+  PolicyAssignment pa = uniform_assignment(f.app, make_checkpointing_plan(2, 1));
+  for (int i = 0; i < f.app.process_count(); ++i) {
+    pa.plan(ProcessId{i}).copies[0].node = NodeId{0};
+  }
+  EXPECT_THROW(pa.validate(f.app, FaultModel{2}), std::invalid_argument);
+}
+
+TEST(PolicyAssignment, SummaryMentionsEveryProcess) {
+  auto f = fig3_app();
+  PolicyAssignment pa = uniform_assignment(f.app, make_checkpointing_plan(2, 1));
+  for (int i = 0; i < f.app.process_count(); ++i) {
+    pa.plan(ProcessId{i}).copies[0].node = NodeId{0};
+  }
+  const std::string s = pa.summary(f.app);
+  for (const Process& p : f.app.processes()) {
+    EXPECT_NE(s.find(p.name), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ftes

@@ -1,0 +1,121 @@
+// Randomized cross-validation properties over generated applications:
+// the pieces of the pipeline must agree with each other on arbitrary
+// instances, not just on the hand-built fixtures.
+#include <gtest/gtest.h>
+
+#include "gen/taskgen.h"
+#include "opt/policy_assignment.h"
+#include "sched/cond_scheduler.h"
+#include "sched/root_schedule.h"
+#include "sched/wcsl.h"
+#include "sim/executor.h"
+
+namespace ftes {
+namespace {
+
+struct RandomInstance {
+  Application app;
+  Architecture arch;
+  PolicyAssignment pa;
+  FaultModel fm;
+};
+
+RandomInstance make(std::uint64_t seed, int processes, int k,
+                    double frozen_fraction) {
+  TaskGenParams params;
+  params.process_count = processes;
+  params.node_count = 2;
+  params.frozen_process_fraction = frozen_fraction;
+  params.frozen_message_fraction = frozen_fraction;
+  Rng rng(seed);
+  RandomInstance inst{generate_application(params, rng),
+                      generate_architecture(params), PolicyAssignment{},
+                      FaultModel{k}};
+  inst.pa = greedy_initial(inst.app, inst.arch, inst.fm,
+                           PolicySpace::kReexecutionOnly, 1);
+  return inst;
+}
+
+class RandomPipeline : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property 1: the synthesized conditional schedule passes the exhaustive
+// executor check (deadlines irrelevant here -- we check consistency and
+// transparency, so give a generous deadline).
+TEST_P(RandomPipeline, CondSchedulePassesExecutor) {
+  RandomInstance inst = make(GetParam(), 7, 2, 0.3);
+  inst.app.set_deadline(kTimeInfinity / 2);
+  const CondScheduleResult r =
+      conditional_schedule(inst.app, inst.arch, inst.pa, inst.fm);
+  const ExecutionReport report = check_all_scenarios(inst.app, inst.pa, r);
+  EXPECT_TRUE(report.ok) << (report.violations.empty()
+                                 ? ""
+                                 : report.violations.front());
+}
+
+// Property 2: the analytic WCSL DP dominates the scenario-exact worst case
+// (with idealized signalling, which is what the DP models).
+TEST_P(RandomPipeline, DpDominatesScenarioExact) {
+  RandomInstance inst = make(GetParam() + 100, 7, 2, 0.0);
+  inst.app.set_deadline(kTimeInfinity / 2);
+  CondScheduleOptions opts;
+  opts.respect_transparency = false;
+  opts.schedule_condition_broadcasts = false;
+  const CondScheduleResult exact =
+      conditional_schedule(inst.app, inst.arch, inst.pa, inst.fm, opts);
+  const WcslResult dp = evaluate_wcsl(inst.app, inst.arch, inst.pa, inst.fm);
+  EXPECT_GE(dp.makespan, exact.wcsl) << "seed " << GetParam();
+}
+
+// Property 3: root schedules validate over all scenarios and dominate the
+// budget-DP WCSL (full transparency can only cost).
+TEST_P(RandomPipeline, RootScheduleValidAndDominates) {
+  RandomInstance inst = make(GetParam() + 200, 8, 2, 0.0);
+  inst.app.set_deadline(kTimeInfinity / 2);
+  const RootSchedule root =
+      build_root_schedule(inst.app, inst.arch, inst.pa, inst.fm);
+  const RootValidation v =
+      validate_root_schedule(inst.app, inst.arch, inst.pa, inst.fm, root);
+  EXPECT_TRUE(v.ok) << (v.violations.empty() ? "" : v.violations.front());
+  EXPECT_GE(root.wcsl,
+            evaluate_wcsl(inst.app, inst.arch, inst.pa, inst.fm).makespan);
+}
+
+// Property 4: WCSL is monotone in k for fixed plans (more faults can only
+// lengthen the worst case) -- checked on the same mapping with growing
+// recovery budgets.
+TEST_P(RandomPipeline, WcslMonotoneInFaults) {
+  Time prev = 0;
+  for (int k = 0; k <= 3; ++k) {
+    RandomInstance inst = make(GetParam() + 300, 12, k, 0.0);
+    const Time m = evaluate_wcsl(inst.app, inst.arch, inst.pa, inst.fm).makespan;
+    EXPECT_GE(m, prev) << "seed " << GetParam() << " k " << k;
+    prev = m;
+  }
+}
+
+// Property 5: every generated scenario-exact schedule tolerates its k
+// faults -- each process completes in every admissible scenario.
+TEST_P(RandomPipeline, AllProcessesCompleteInEveryScenario) {
+  RandomInstance inst = make(GetParam() + 400, 6, 2, 0.2);
+  inst.app.set_deadline(kTimeInfinity / 2);
+  const CondScheduleResult r =
+      conditional_schedule(inst.app, inst.arch, inst.pa, inst.fm);
+  for (const ScenarioTrace& tr : r.traces) {
+    std::vector<bool> completed(
+        static_cast<std::size_t>(inst.app.process_count()), false);
+    for (const ExecTrace& e : tr.execs) {
+      if (!e.died) completed[static_cast<std::size_t>(e.copy.process.get())] = true;
+    }
+    for (int i = 0; i < inst.app.process_count(); ++i) {
+      EXPECT_TRUE(completed[static_cast<std::size_t>(i)])
+          << inst.app.process(ProcessId{i}).name << " in "
+          << tr.scenario.to_string(inst.app);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPipeline,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace ftes

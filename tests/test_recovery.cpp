@@ -1,0 +1,137 @@
+// Unit + property tests of the checkpointing recovery algebra (Section 3.1).
+#include "fault/recovery.h"
+
+#include <gtest/gtest.h>
+
+namespace ftes {
+namespace {
+
+// The paper's Fig. 1: C1 = 60 ms, alpha = 10, mu = 10, chi = 5.
+constexpr RecoveryParams kFig1{60, 10, 10, 5};
+
+TEST(Recovery, SegmentLengthIsCeilDiv) {
+  EXPECT_EQ(segment_length(60, 1), 60);
+  EXPECT_EQ(segment_length(60, 2), 30);
+  EXPECT_EQ(segment_length(61, 2), 31);
+  EXPECT_EQ(segment_length(60, 7), 9);
+}
+
+TEST(Recovery, SegmentLengthRejectsBadArgs) {
+  EXPECT_THROW(segment_length(60, 0), std::invalid_argument);
+  EXPECT_THROW(segment_length(0, 1), std::invalid_argument);
+}
+
+TEST(Recovery, Fig1bFaultFreeWithTwoCheckpoints) {
+  // Fig. 1b: two checkpoints -> 60 + 2*chi = 70 ms.
+  EXPECT_EQ(checkpointed_exec_time(kFig1, 2, 0), 70);
+}
+
+TEST(Recovery, Fig1cSingleFaultSecondSegment) {
+  // Fig. 1c: one fault -> 70 + (30 + alpha + mu) = 120 ms.
+  EXPECT_EQ(checkpointed_exec_time(kFig1, 2, 1), 120);
+}
+
+TEST(Recovery, ReexecutionIsSingleCheckpointCase) {
+  // n = 1: every fault re-executes the whole process.
+  EXPECT_EQ(checkpointed_exec_time(kFig1, 1, 0), 65);  // 60 + chi
+  EXPECT_EQ(checkpointed_exec_time(kFig1, 1, 2), 65 + 2 * (60 + 10 + 10));
+}
+
+TEST(Recovery, ReplicaTimeIsPlainWcet) {
+  EXPECT_EQ(replica_exec_time(kFig1), 60);
+}
+
+TEST(Recovery, FaultOccurrenceAndRecoveryOffsets) {
+  // n = 1 re-execution: fault j occurs at j*C + (j-1)*(alpha+mu); the
+  // recovery starts alpha+mu later.  Matches Fig. 6's P1 row (0/35/70 for
+  // C = 30, alpha+mu = 5).
+  const RecoveryParams p{30, 5, 0, 0};
+  EXPECT_EQ(fault_occurrence_offset(p, 1, 1), 30);
+  EXPECT_EQ(recovery_start_offset(p, 1, 1), 35);
+  EXPECT_EQ(fault_occurrence_offset(p, 1, 2), 65);
+  EXPECT_EQ(recovery_start_offset(p, 1, 2), 70);
+}
+
+TEST(Recovery, ExecTimeMonotoneInFaults) {
+  for (int n = 1; n <= 8; ++n) {
+    for (int f = 0; f < 6; ++f) {
+      EXPECT_LT(checkpointed_exec_time(kFig1, n, f),
+                checkpointed_exec_time(kFig1, n, f + 1));
+    }
+  }
+}
+
+TEST(Recovery, CompletionConsistentWithRecoveryOffsets) {
+  // With all faults on the first segment, the f-th recovery re-runs the
+  // whole remaining fault-free schedule of the copy:
+  //   E(n, f) == recovery_start_offset(f) + E(n, 0).
+  for (int n : {1, 2, 3, 5}) {
+    for (int f : {1, 2, 3}) {
+      EXPECT_EQ(checkpointed_exec_time(kFig1, n, f),
+                recovery_start_offset(kFig1, n, f) +
+                    checkpointed_exec_time(kFig1, n, 0))
+          << "n=" << n << " f=" << f;
+    }
+  }
+}
+
+// --- local optimal checkpoint count ([27]) --------------------------------
+
+TEST(Recovery, LocalOptimumMinimizesExecTime) {
+  // Exhaustive check: the returned n is no worse than any n in range.
+  const int cap = 32;
+  for (Time chi : {1, 3, 5, 10}) {
+    for (Time c : {20, 60, 100, 250}) {
+      for (int k : {1, 2, 4, 7}) {
+        const RecoveryParams p{c, 5, 5, chi};
+        const int n0 = optimal_checkpoints_local(p, k, cap);
+        const Time best = checkpointed_exec_time(p, n0, k);
+        for (int n = 1; n <= cap; ++n) {
+          EXPECT_LE(best, checkpointed_exec_time(p, n, k))
+              << "chi=" << chi << " C=" << c << " k=" << k << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(Recovery, LocalOptimumNoFaultsIsOne) {
+  EXPECT_EQ(optimal_checkpoints_local(kFig1, 0), 1);
+}
+
+TEST(Recovery, LocalOptimumFreeCheckpointsHitsCap) {
+  const RecoveryParams p{60, 10, 10, 0};
+  EXPECT_EQ(optimal_checkpoints_local(p, 2, 16), 16);
+}
+
+TEST(Recovery, MoreCheckpointsTradeOverheadForRecovery) {
+  // With many faults, more checkpoints pay off; with none, they only cost.
+  const RecoveryParams p{100, 2, 2, 2};
+  EXPECT_GT(checkpointed_exec_time(p, 1, 5),
+            checkpointed_exec_time(p, 5, 5));
+  EXPECT_LT(checkpointed_exec_time(p, 1, 0),
+            checkpointed_exec_time(p, 5, 0));
+}
+
+// Parameterized sweep: the optimum from the closed form never loses to its
+// neighbours (guards the floor/ceil adjustment).
+class LocalOptSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LocalOptSweep, NeighbourhoodOptimal) {
+  const int k = GetParam();
+  for (Time c = 10; c <= 200; c += 17) {
+    const RecoveryParams p{c, 3, 4, 6};
+    const int n0 = optimal_checkpoints_local(p, k, 64);
+    const Time best = checkpointed_exec_time(p, n0, k);
+    for (int d : {-2, -1, 1, 2}) {
+      const int n = n0 + d;
+      if (n < 1 || n > 64) continue;
+      EXPECT_LE(best, checkpointed_exec_time(p, n, k));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Faults, LocalOptSweep, ::testing::Values(1, 2, 3, 5, 7));
+
+}  // namespace
+}  // namespace ftes

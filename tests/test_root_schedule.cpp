@@ -1,0 +1,118 @@
+// Tests of root schedules (fully transparent recovery, [19]/[16]).
+#include "sched/root_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "sched/cond_scheduler.h"
+
+namespace ftes {
+namespace {
+
+using ::ftes::testing::fig5_app;
+
+TEST(RootSchedule, ValidatesOverAllScenarios) {
+  auto f = fig5_app();
+  const RootSchedule root =
+      build_root_schedule(f.app, f.arch, f.assignment, f.model);
+  const RootValidation v =
+      validate_root_schedule(f.app, f.arch, f.assignment, f.model, root);
+  EXPECT_TRUE(v.ok) << (v.violations.empty() ? "" : v.violations.front());
+}
+
+TEST(RootSchedule, SlackAbsorbsAllLocalFaults) {
+  auto f = fig5_app();
+  const RootSchedule root =
+      build_root_schedule(f.app, f.arch, f.assignment, f.model);
+  for (const RootSlot& s : root.slots) {
+    EXPECT_GE(s.slack, 0) << f.app.process(s.ref.process).name;
+    EXPECT_GE(s.worst_finish, s.start);
+  }
+}
+
+TEST(RootSchedule, OneEntryPerCopyAndMessage) {
+  auto f = fig5_app();
+  const RootSchedule root =
+      build_root_schedule(f.app, f.arch, f.assignment, f.model);
+  EXPECT_EQ(root.slots.size(), 4u);  // one copy per process
+  // m1 crosses nodes; frozen m2/m3 are bus-pinned by the conditional
+  // scheduler, but the root schedule transmits only cross-node data
+  // (everything is implicitly frozen anyway).
+  EXPECT_GE(root.messages.size(), 1u);
+  EXPECT_EQ(root.total_entries(),
+            static_cast<int>(root.slots.size() + root.messages.size()));
+}
+
+TEST(RootSchedule, TransparencyCostsAgainstConditional) {
+  // Full transparency can only lengthen the worst case versus conditional
+  // tables with designer-chosen transparency, but shrinks the table to one
+  // entry per activation.
+  auto f = fig5_app();
+  const RootSchedule root =
+      build_root_schedule(f.app, f.arch, f.assignment, f.model);
+  CondScheduleOptions opts;
+  opts.respect_transparency = false;
+  opts.schedule_condition_broadcasts = false;
+  const CondScheduleResult cond =
+      conditional_schedule(f.app, f.arch, f.assignment, f.model, opts);
+  EXPECT_GE(root.wcsl, cond.wcsl);
+  EXPECT_LT(root.total_entries(), cond.tables.total_entries());
+}
+
+TEST(RootSchedule, TransparentAnalysisDominatesBudgetDp) {
+  auto f = fig5_app();
+  const ListSchedule sched = list_schedule(f.app, f.arch, f.assignment);
+  const WcslResult dp =
+      worst_case_schedule_length(f.app, f.arch, f.assignment, f.model, sched);
+  const WcslResult transparent =
+      worst_case_transparent(f.app, f.arch, f.assignment, f.model, sched);
+  EXPECT_GE(transparent.makespan, dp.makespan);
+  for (std::size_t i = 0; i < dp.copy_worst_start.size(); ++i) {
+    EXPECT_GE(transparent.copy_worst_start[i], dp.copy_worst_start[i]);
+  }
+}
+
+TEST(RootSchedule, ZeroFaultsEqualsListSchedule) {
+  auto f = fig5_app();
+  FaultModel fm{0};
+  PolicyAssignment pa(f.app.process_count());
+  for (int i = 0; i < f.app.process_count(); ++i) {
+    ProcessPlan plan;
+    CopyPlan copy;
+    copy.node = f.assignment.plan(ProcessId{i}).copies[0].node;
+    plan.copies.push_back(copy);
+    pa.plan(ProcessId{i}) = plan;
+  }
+  const RootSchedule root = build_root_schedule(f.app, f.arch, pa, fm);
+  const RootValidation v = validate_root_schedule(f.app, f.arch, pa, fm, root);
+  EXPECT_TRUE(v.ok);
+}
+
+TEST(RootSchedule, TextRenderingMentionsNodes) {
+  auto f = fig5_app();
+  const RootSchedule root =
+      build_root_schedule(f.app, f.arch, f.assignment, f.model);
+  const std::string text = root.to_text(f.app, f.arch);
+  EXPECT_NE(text.find("N1"), std::string::npos);
+  EXPECT_NE(text.find("WCSL"), std::string::npos);
+}
+
+TEST(RootSchedule, DetectsSabotage) {
+  auto f = fig5_app();
+  RootSchedule root =
+      build_root_schedule(f.app, f.arch, f.assignment, f.model);
+  // Pull a pinned start far too early: recoveries upstream now overrun.
+  ASSERT_FALSE(root.slots.empty());
+  // Find the latest-starting slot and pin it at 1.
+  std::size_t latest = 0;
+  for (std::size_t i = 0; i < root.slots.size(); ++i) {
+    if (root.slots[i].start > root.slots[latest].start) latest = i;
+  }
+  root.slots[latest].start = 1;
+  const RootValidation v =
+      validate_root_schedule(f.app, f.arch, f.assignment, f.model, root);
+  EXPECT_FALSE(v.ok);
+}
+
+}  // namespace
+}  // namespace ftes

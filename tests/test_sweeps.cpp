@@ -1,0 +1,148 @@
+// Parameterized configuration sweeps: the conditional scheduler and the
+// executor must uphold their invariants across the (k, transparency,
+// broadcast) grid, and the optimizer across all policy spaces and fault
+// bounds -- not just at the fixture's single configuration.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "fixtures.h"
+#include "opt/policy_assignment.h"
+#include "sched/cond_scheduler.h"
+#include "sched/wcsl.h"
+#include "sim/executor.h"
+
+namespace ftes {
+namespace {
+
+using ::ftes::testing::fig5_app;
+
+// --- conditional scheduler grid ---------------------------------------------
+
+class CondGrid
+    : public ::testing::TestWithParam<std::tuple<int, bool, bool>> {};
+
+TEST_P(CondGrid, InvariantsHoldAcrossConfigurations) {
+  const auto [k, transparent, broadcasts] = GetParam();
+  auto f = fig5_app();
+  f.model.k = k;
+  // Rebuild plans for this k.
+  for (int i = 0; i < f.app.process_count(); ++i) {
+    ProcessPlan plan = make_checkpointing_plan(k, 1);
+    plan.copies[0].node = f.assignment.plan(ProcessId{i}).copies[0].node;
+    f.assignment.plan(ProcessId{i}) = plan;
+  }
+  CondScheduleOptions opts;
+  opts.respect_transparency = transparent;
+  opts.schedule_condition_broadcasts = broadcasts;
+  const CondScheduleResult r =
+      conditional_schedule(f.app, f.arch, f.assignment, f.model, opts);
+
+  // Scenario count is stars-and-bars over 4 copies.
+  int expected = 1;
+  for (int i = 1; i <= k; ++i) {
+    expected = expected * (4 + i) / i;  // C(4+k, k) built incrementally
+  }
+  EXPECT_EQ(r.scenario_count, expected);
+
+  // Makespans dominated by the reported WCSL; fault-free is the shortest.
+  Time fault_free = 0;
+  for (const ScenarioTrace& tr : r.traces) {
+    EXPECT_LE(tr.makespan, r.wcsl);
+    if (tr.scenario.empty()) fault_free = tr.makespan;
+  }
+  EXPECT_GT(fault_free, 0);
+  EXPECT_LE(fault_free, r.wcsl);
+
+  // Every process completes in every scenario.
+  for (const ScenarioTrace& tr : r.traces) {
+    std::vector<bool> done(4, false);
+    for (const ExecTrace& e : tr.execs) {
+      if (!e.died) done[static_cast<std::size_t>(e.copy.process.get())] = true;
+    }
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_TRUE(done[static_cast<std::size_t>(i)])
+          << "k=" << k << " " << tr.scenario.to_string(f.app);
+    }
+  }
+
+  // With transparency on, the executor's full check (incl. frozen pins)
+  // must pass; with it off, guard-entailment and deadlines still hold for
+  // every per-scenario trace.
+  if (transparent) {
+    EXPECT_TRUE(check_all_scenarios(f.app, f.assignment, r).ok);
+  } else {
+    for (const ScenarioTrace& tr : r.traces) {
+      EXPECT_TRUE(execute_scenario(f.app, f.assignment, r, tr).ok);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CondGrid,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Bool(),
+                                            ::testing::Bool()));
+
+// --- transparency monotonicity across k -------------------------------------
+
+class TransparencyCost : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransparencyCost, FrozenNeverShortensSchedules) {
+  const int k = GetParam();
+  auto f = fig5_app();
+  f.model.k = k;
+  for (int i = 0; i < f.app.process_count(); ++i) {
+    ProcessPlan plan = make_checkpointing_plan(k, 1);
+    plan.copies[0].node = f.assignment.plan(ProcessId{i}).copies[0].node;
+    f.assignment.plan(ProcessId{i}) = plan;
+  }
+  CondScheduleOptions open;
+  open.respect_transparency = false;
+  const Time with = conditional_schedule(f.app, f.arch, f.assignment,
+                                         f.model)
+                        .wcsl;
+  const Time without = conditional_schedule(f.app, f.arch, f.assignment,
+                                            f.model, open)
+                           .wcsl;
+  EXPECT_GE(with, without) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Faults, TransparencyCost, ::testing::Values(1, 2, 3));
+
+// --- optimizer across spaces and k ------------------------------------------
+
+class OptimizerGrid
+    : public ::testing::TestWithParam<std::tuple<PolicySpace, int>> {};
+
+TEST_P(OptimizerGrid, ValidAndNoWorseThanGreedy) {
+  const auto [space, k] = GetParam();
+  auto f = fig5_app();
+  f.app.set_deadline(kTimeInfinity / 2);
+  const FaultModel fm{k};
+  OptimizeOptions opts;
+  opts.space = space;
+  opts.iterations = 30;
+  opts.neighborhood = 8;
+  opts.seed = 17;
+  if (space != PolicySpace::kFull &&
+      space != PolicySpace::kCheckpointingOnly) {
+    opts.optimize_checkpoints = false;
+  }
+  const PolicyAssignment greedy =
+      greedy_initial(f.app, f.arch, fm, space, opts.max_checkpoints);
+  const Time greedy_cost = evaluate_wcsl(f.app, f.arch, greedy, fm).makespan;
+  const OptimizeResult r = optimize_from(f.app, f.arch, fm, opts, greedy);
+  EXPECT_LE(r.wcsl, greedy_cost);
+  EXPECT_NO_THROW(r.assignment.validate(f.app, fm));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OptimizerGrid,
+    ::testing::Combine(::testing::Values(PolicySpace::kReexecutionOnly,
+                                         PolicySpace::kCheckpointingOnly,
+                                         PolicySpace::kReplicationOnly,
+                                         PolicySpace::kFull),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace ftes

@@ -1,0 +1,89 @@
+// End-to-end tests of the synthesis facade (psi = <F, M, S>).
+#include "core/synthesis.h"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "fixtures.h"
+#include "gen/taskgen.h"
+#include "sim/executor.h"
+
+namespace ftes {
+namespace {
+
+using ::ftes::testing::fig5_app;
+
+SynthesisOptions quick(int k) {
+  SynthesisOptions opts;
+  opts.fault_model.k = k;
+  opts.optimize.iterations = 50;
+  opts.optimize.neighborhood = 8;
+  opts.optimize.seed = 5;
+  return opts;
+}
+
+TEST(Synthesis, EndToEndOnFig5App) {
+  auto f = fig5_app();
+  const SynthesisResult r = synthesize(f.app, f.arch, quick(2));
+  EXPECT_NO_THROW(r.assignment.validate(f.app, FaultModel{2}));
+  EXPECT_TRUE(r.schedulable);
+  ASSERT_TRUE(r.schedule.has_value());
+  const ExecutionReport report =
+      check_all_scenarios(f.app, r.assignment, *r.schedule);
+  EXPECT_TRUE(report.ok) << (report.violations.empty()
+                                 ? ""
+                                 : report.violations.front());
+}
+
+TEST(Synthesis, TablesOptionalForLargeDesigns) {
+  TaskGenParams params;
+  params.process_count = 30;
+  params.node_count = 3;
+  Rng rng(9);
+  const Application app = generate_application(params, rng);
+  const Architecture arch = generate_architecture(params);
+  SynthesisOptions opts = quick(3);
+  opts.build_schedule_tables = false;
+  const SynthesisResult r = synthesize(app, arch, opts);
+  EXPECT_FALSE(r.schedule.has_value());
+  EXPECT_GT(r.wcsl.makespan, 0);
+}
+
+TEST(Synthesis, InfeasibleDeadlineReported) {
+  auto f = fig5_app();
+  f.app.set_deadline(10);  // impossible
+  const SynthesisResult r = synthesize(f.app, f.arch, quick(2));
+  EXPECT_FALSE(r.schedulable);
+}
+
+TEST(Synthesis, CheckpointRefinementNeverHurts) {
+  TaskGenParams params;
+  params.process_count = 16;
+  params.node_count = 2;
+  Rng rng(10);
+  const Application app = generate_application(params, rng);
+  const Architecture arch = generate_architecture(params);
+  SynthesisOptions with = quick(3);
+  SynthesisOptions without = quick(3);
+  without.refine_checkpoints = false;
+  with.build_schedule_tables = false;
+  without.build_schedule_tables = false;
+  EXPECT_LE(synthesize(app, arch, with).wcsl.makespan,
+            synthesize(app, arch, without).wcsl.makespan);
+}
+
+TEST(Metrics, FtoPercent) {
+  EXPECT_DOUBLE_EQ(fto_percent(150, 100), 50.0);
+  EXPECT_DOUBLE_EQ(fto_percent(100, 100), 0.0);
+  EXPECT_THROW(fto_percent(100, 0), std::invalid_argument);
+}
+
+TEST(Metrics, PercentDeviationAndMean) {
+  EXPECT_DOUBLE_EQ(percent_deviation(77.0, 70.0), 10.0);
+  EXPECT_THROW(percent_deviation(1.0, 0.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+}  // namespace
+}  // namespace ftes

@@ -1,0 +1,107 @@
+// Tests of the synthetic task-graph generator.
+#include "gen/taskgen.h"
+
+#include <gtest/gtest.h>
+
+namespace ftes {
+namespace {
+
+TEST(TaskGen, ProducesRequestedSize) {
+  TaskGenParams params;
+  params.process_count = 40;
+  params.node_count = 4;
+  Rng rng(1);
+  const Application app = generate_application(params, rng);
+  EXPECT_EQ(app.process_count(), 40);
+  EXPECT_GT(app.message_count(), 0);
+}
+
+TEST(TaskGen, GraphIsAcyclicAndValid) {
+  TaskGenParams params;
+  params.process_count = 60;
+  params.node_count = 3;
+  Rng rng(2);
+  const Application app = generate_application(params, rng);
+  const Architecture arch = generate_architecture(params);
+  EXPECT_NO_THROW(app.validate(arch));
+}
+
+TEST(TaskGen, DeterministicUnderSeed) {
+  TaskGenParams params;
+  params.process_count = 25;
+  Rng a(42), b(42);
+  const Application x = generate_application(params, a);
+  const Application y = generate_application(params, b);
+  ASSERT_EQ(x.process_count(), y.process_count());
+  ASSERT_EQ(x.message_count(), y.message_count());
+  for (int i = 0; i < x.process_count(); ++i) {
+    EXPECT_EQ(x.process(ProcessId{i}).wcet, y.process(ProcessId{i}).wcet);
+  }
+}
+
+TEST(TaskGen, WcetsWithinScaledRange) {
+  TaskGenParams params;
+  params.process_count = 50;
+  params.wcet_min = 10;
+  params.wcet_max = 100;
+  Rng rng(3);
+  const Application app = generate_application(params, rng);
+  for (const Process& p : app.processes()) {
+    for (const auto& [node, c] : p.wcet) {
+      EXPECT_GE(c, 1);
+      EXPECT_LE(c, 131);  // 100 * 1.3 rounded
+    }
+    EXPECT_GE(p.alpha, 1);
+    EXPECT_GE(p.mu, 1);
+    EXPECT_GE(p.chi, 1);
+  }
+}
+
+TEST(TaskGen, RestrictionsNeverStrandAProcess) {
+  TaskGenParams params;
+  params.process_count = 80;
+  params.node_count = 2;
+  params.restriction_probability = 0.8;  // aggressive
+  Rng rng(4);
+  const Application app = generate_application(params, rng);
+  for (const Process& p : app.processes()) {
+    EXPECT_GE(p.wcet.size(), 1u) << p.name;
+  }
+}
+
+TEST(TaskGen, FrozenFractionsApplied) {
+  TaskGenParams params;
+  params.process_count = 100;
+  params.frozen_process_fraction = 1.0;
+  params.frozen_message_fraction = 1.0;
+  Rng rng(5);
+  const Application app = generate_application(params, rng);
+  for (const Process& p : app.processes()) EXPECT_TRUE(p.frozen);
+  for (const Message& m : app.messages()) EXPECT_TRUE(m.frozen);
+}
+
+TEST(TaskGen, InDegreeBounded) {
+  TaskGenParams params;
+  params.process_count = 70;
+  params.max_in_degree = 2;
+  Rng rng(6);
+  const Application app = generate_application(params, rng);
+  for (int i = 0; i < app.process_count(); ++i) {
+    EXPECT_LE(app.inputs(ProcessId{i}).size(), 2u);
+  }
+}
+
+TEST(TaskGen, DeadlineScalesWithCriticalPath) {
+  TaskGenParams params;
+  params.process_count = 30;
+  params.deadline_factor = 2.0;
+  Rng a(7);
+  const Application app2 = generate_application(params, a);
+  params.deadline_factor = 8.0;
+  Rng b(7);
+  const Application app8 = generate_application(params, b);
+  EXPECT_EQ(app8.deadline(), 4 * app2.deadline());
+}
+
+}  // namespace
+}  // namespace ftes

@@ -1,0 +1,88 @@
+// Tests of the TDMA/TTP bus model (Section 2).
+#include "arch/tdma_bus.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/architecture.h"
+
+namespace ftes {
+namespace {
+
+TEST(TdmaBus, UniformRoundLayout) {
+  const TdmaBus bus = TdmaBus::uniform(3, 10);
+  EXPECT_EQ(bus.round_length(), 30);
+  ASSERT_EQ(bus.slots().size(), 3u);
+  EXPECT_EQ(bus.slot_offset(0), 0);
+  EXPECT_EQ(bus.slot_offset(1), 10);
+  EXPECT_EQ(bus.slot_offset(2), 20);
+}
+
+TEST(TdmaBus, RejectsDegenerateConfigs) {
+  EXPECT_THROW(TdmaBus::uniform(0, 10), std::invalid_argument);
+  EXPECT_THROW(TdmaBus::uniform(2, 0), std::invalid_argument);
+  EXPECT_THROW(TdmaBus::from_slots({}), std::invalid_argument);
+}
+
+TEST(TdmaBus, NextSlotStartWaitsForOwnSlot) {
+  const TdmaBus bus = TdmaBus::uniform(2, 10);  // N1: [0,10), N2: [10,20)
+  const NodeId n1{0}, n2{1};
+  EXPECT_EQ(bus.next_slot_start(n1, 0), 0);
+  EXPECT_EQ(bus.next_slot_start(n1, 1), 20);   // missed its slot start
+  EXPECT_EQ(bus.next_slot_start(n2, 0), 10);
+  EXPECT_EQ(bus.next_slot_start(n2, 10), 10);
+  EXPECT_EQ(bus.next_slot_start(n2, 11), 30);
+  EXPECT_EQ(bus.next_slot_start(n1, 39), 40);
+}
+
+TEST(TdmaBus, TransmissionFinishSingleFrame) {
+  const TdmaBus bus = TdmaBus::uniform(2, 10);
+  EXPECT_EQ(bus.transmission_finish(NodeId{0}, 0, 1), 10);
+  EXPECT_EQ(bus.transmission_finish(NodeId{1}, 0, 1), 20);
+}
+
+TEST(TdmaBus, MultiFrameMessagesSpanRounds) {
+  TdmaBus bus = TdmaBus::uniform(2, 10);
+  bus.set_slot_payload(4);
+  EXPECT_EQ(bus.frames_needed(4), 1);
+  EXPECT_EQ(bus.frames_needed(5), 2);
+  // Two frames from N1: slots [0,10) and [20,30).
+  EXPECT_EQ(bus.transmission_finish(NodeId{0}, 0, 5), 30);
+}
+
+TEST(TdmaBus, WorstCaseDurationBoundsAnyReadyTime) {
+  TdmaBus bus = TdmaBus::uniform(3, 7);
+  bus.set_slot_payload(2);
+  for (NodeId sender : {NodeId{0}, NodeId{1}, NodeId{2}}) {
+    for (std::int64_t size : {1, 2, 3, 5}) {
+      const Time bound = bus.worst_case_duration(sender, size);
+      for (Time ready = 0; ready < 2 * bus.round_length(); ++ready) {
+        const Time latency =
+            bus.transmission_finish(sender, ready, size) - ready;
+        EXPECT_LE(latency, bound)
+            << "sender=" << sender.get() << " size=" << size
+            << " ready=" << ready;
+      }
+    }
+  }
+}
+
+TEST(TdmaBus, HeterogeneousSlotLengths) {
+  const TdmaBus bus = TdmaBus::from_slots(
+      {TdmaSlot{NodeId{0}, 5}, TdmaSlot{NodeId{1}, 15}, TdmaSlot{NodeId{0}, 5}});
+  EXPECT_EQ(bus.round_length(), 25);
+  // N1 owns two slots per round: at 0 and at 20.
+  EXPECT_EQ(bus.next_slot_start(NodeId{0}, 1), 20);
+  EXPECT_EQ(bus.next_slot_start(NodeId{0}, 21), 25);
+}
+
+TEST(Architecture, HomogeneousFactory) {
+  const Architecture arch = Architecture::homogeneous(4, 5);
+  EXPECT_EQ(arch.node_count(), 4);
+  EXPECT_EQ(arch.node(NodeId{0}).name, "N1");
+  EXPECT_EQ(arch.node(NodeId{3}).name, "N4");
+  EXPECT_EQ(arch.bus().round_length(), 20);
+  EXPECT_THROW(arch.node(NodeId{4}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ftes

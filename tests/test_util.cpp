@@ -1,0 +1,75 @@
+// Tests of the utility substrate (ids, RNG, logging).
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/time_types.h"
+
+namespace ftes {
+namespace {
+
+TEST(Ids, StrongTypingAndValidity) {
+  ProcessId p;
+  EXPECT_FALSE(p.valid());
+  ProcessId q{3};
+  EXPECT_TRUE(q.valid());
+  EXPECT_EQ(q.get(), 3);
+  EXPECT_TRUE(ProcessId{1} < ProcessId{2});
+  EXPECT_TRUE(ProcessId{2} == ProcessId{2});
+  EXPECT_TRUE(ProcessId{2} != ProcessId{3});
+}
+
+TEST(Ids, HashableInUnorderedContainers) {
+  std::unordered_set<NodeId> nodes{NodeId{0}, NodeId{1}, NodeId{0}};
+  EXPECT_EQ(nodes.size(), 2u);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+}
+
+TEST(Rng, UniformIntWithinBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(2);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, IndexCoversRange) {
+  Rng rng(3);
+  std::unordered_set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.index(4));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(4);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Logging, LevelGate) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kOff);
+  FTES_LOG(kError) << "must not crash while disabled";
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace ftes

@@ -1,0 +1,168 @@
+// Tests of the worst-case schedule length analysis (fault-budget DP).
+#include "sched/wcsl.h"
+
+#include <gtest/gtest.h>
+
+#include "fault/recovery.h"
+#include "fixtures.h"
+#include "sched/cond_scheduler.h"
+
+namespace ftes {
+namespace {
+
+using ::ftes::testing::fig5_app;
+using ::ftes::testing::two_node_arch;
+
+PolicyAssignment single(const Application& app, NodeId node, int k, int n) {
+  PolicyAssignment pa = uniform_assignment(app, make_checkpointing_plan(k, n));
+  for (int i = 0; i < app.process_count(); ++i) {
+    pa.plan(ProcessId{i}).copies[0].node = node;
+  }
+  return pa;
+}
+
+TEST(Wcsl, SingleProcessMatchesRecoveryAlgebra) {
+  Application app;
+  (void)app.add_process("A", {{NodeId{0}, 60}}, 10, 10, 5);
+  app.set_deadline(1000);
+  const Architecture arch = Architecture::homogeneous(1, 5);
+  for (int k : {0, 1, 2, 3}) {
+    const PolicyAssignment pa = single(app, NodeId{0}, k, 2);
+    const WcslResult r = evaluate_wcsl(app, arch, pa, FaultModel{k});
+    EXPECT_EQ(r.makespan,
+              checkpointed_exec_time(RecoveryParams{60, 10, 10, 5}, 2, k));
+  }
+}
+
+TEST(Wcsl, AdversaryConcentratesFaultsOnWorstProcess) {
+  // Two independent processes on one node: all k faults go to the process
+  // with the larger per-fault recovery cost.
+  Application app;
+  (void)app.add_process("A", {{NodeId{0}, 100}}, 5, 5, 5);  // rec = 110
+  (void)app.add_process("B", {{NodeId{0}, 20}}, 5, 5, 5);   // rec = 30
+  app.set_deadline(10000);
+  const Architecture arch = Architecture::homogeneous(1, 5);
+  const int k = 3;
+  const PolicyAssignment pa = single(app, NodeId{0}, k, 1);
+  const WcslResult r = evaluate_wcsl(app, arch, pa, FaultModel{k});
+  const Time fault_free = (100 + 5) + (20 + 5);  // chi = 5 each, n = 1
+  EXPECT_EQ(r.makespan, fault_free + k * (100 + 5 + 5));
+}
+
+TEST(Wcsl, BudgetSplitsAcrossSerialChainOptimally) {
+  // A -> B on one node with different recovery costs; the DP must consider
+  // mixed splits, not only all-on-one.
+  Application app;
+  const ProcessId a = app.add_process("A", {{NodeId{0}, 50}}, 1, 1, 1);
+  const ProcessId b = app.add_process("B", {{NodeId{0}, 48}}, 1, 1, 1);
+  app.connect(a, b);
+  app.set_deadline(10000);
+  const Architecture arch = Architecture::homogeneous(1, 5);
+  const int k = 2;
+  const PolicyAssignment pa = single(app, NodeId{0}, k, 1);
+  const WcslResult r = evaluate_wcsl(app, arch, pa, FaultModel{k});
+  // Best adversary: both faults on A (52 each) vs split; all-on-A wins.
+  const Time fault_free = 51 + 49;
+  EXPECT_EQ(r.makespan, fault_free + 2 * (50 + 1 + 1));
+}
+
+TEST(Wcsl, MoreCheckpointsReduceWorstCase) {
+  Application app;
+  (void)app.add_process("A", {{NodeId{0}, 100}}, 2, 2, 2);
+  app.set_deadline(10000);
+  const Architecture arch = Architecture::homogeneous(1, 5);
+  const int k = 4;
+  const Time with_one =
+      evaluate_wcsl(app, arch, single(app, NodeId{0}, k, 1), FaultModel{k})
+          .makespan;
+  const Time with_five =
+      evaluate_wcsl(app, arch, single(app, NodeId{0}, k, 5), FaultModel{k})
+          .makespan;
+  EXPECT_LT(with_five, with_one);
+}
+
+TEST(Wcsl, ReplicationAvoidsTimeRedundancy) {
+  // One heavy process: replication's worst case is the slowest replica,
+  // re-execution's is k recoveries in sequence.
+  Application app;
+  const ProcessId a =
+      app.add_process("A", {{NodeId{0}, 100}, {NodeId{1}, 100}}, 5, 5, 5);
+  app.set_deadline(10000);
+  const Architecture arch = two_node_arch();
+  const int k = 1;
+
+  PolicyAssignment repl(app.process_count());
+  ProcessPlan plan = make_replication_plan(k);
+  plan.copies[0].node = NodeId{0};
+  plan.copies[1].node = NodeId{1};
+  repl.plan(a) = plan;
+  const Time t_repl =
+      evaluate_wcsl(app, arch, repl, FaultModel{k}).makespan;
+  EXPECT_EQ(t_repl, 100);  // replicas in parallel, faults kill not delay
+
+  const Time t_reexec =
+      evaluate_wcsl(app, arch, single(app, NodeId{0}, k, 1), FaultModel{k})
+          .makespan;
+  EXPECT_EQ(t_reexec, 105 + (100 + 5 + 5));
+  EXPECT_LT(t_repl, t_reexec);
+}
+
+TEST(Wcsl, MonotoneInFaultCount) {
+  auto f = fig5_app();
+  Time prev = 0;
+  for (int k = 0; k <= 4; ++k) {
+    PolicyAssignment pa(f.app.process_count());
+    for (int i = 0; i < f.app.process_count(); ++i) {
+      ProcessPlan plan = make_checkpointing_plan(k, 1);
+      plan.copies[0].node = f.assignment.plan(ProcessId{i}).copies[0].node;
+      pa.plan(ProcessId{i}) = plan;
+    }
+    const Time m = evaluate_wcsl(f.app, f.arch, pa, FaultModel{k}).makespan;
+    EXPECT_GE(m, prev) << "k=" << k;
+    prev = m;
+  }
+}
+
+TEST(Wcsl, UpperBoundsScenarioExactWcsl) {
+  // The DP is conservative: it must dominate the scenario-exact worst case
+  // computed by the conditional scheduler (transparency ignored).
+  auto f = fig5_app();
+  CondScheduleOptions opts;
+  opts.respect_transparency = false;
+  // The DP models data traffic but not condition-broadcast contention
+  // (Section 6's estimators do the same), so compare against the
+  // broadcast-free exact schedule.
+  opts.schedule_condition_broadcasts = false;
+  const CondScheduleResult exact =
+      conditional_schedule(f.app, f.arch, f.assignment, f.model, opts);
+  const WcslResult dp = evaluate_wcsl(f.app, f.arch, f.assignment, f.model);
+  EXPECT_GE(dp.makespan, exact.wcsl);
+}
+
+TEST(Wcsl, ProcessFinishFeedsLocalDeadlines) {
+  Application app;
+  const ProcessId a = app.add_process("A", {{NodeId{0}, 30}}, 5, 5, 5);
+  app.process(a).local_deadline = 40;
+  app.set_deadline(1000);
+  const Architecture arch = Architecture::homogeneous(1, 5);
+  const PolicyAssignment pa = single(app, NodeId{0}, 1, 1);
+  const WcslResult r = evaluate_wcsl(app, arch, pa, FaultModel{1});
+  // Worst case 35 + 40 = 75 > 40: local deadline violated.
+  EXPECT_FALSE(r.meets_deadlines(app));
+  app.process(a).local_deadline = 100;
+  EXPECT_TRUE(evaluate_wcsl(app, arch, pa, FaultModel{1}).meets_deadlines(app));
+}
+
+TEST(Wcsl, DeadlineCheckUsesGlobalDeadline) {
+  auto f = fig5_app();
+  const WcslResult r = evaluate_wcsl(f.app, f.arch, f.assignment, f.model);
+  f.app.set_deadline(r.makespan);
+  EXPECT_TRUE(
+      evaluate_wcsl(f.app, f.arch, f.assignment, f.model).meets_deadlines(f.app));
+  f.app.set_deadline(r.makespan - 1);
+  EXPECT_FALSE(
+      evaluate_wcsl(f.app, f.arch, f.assignment, f.model).meets_deadlines(f.app));
+}
+
+}  // namespace
+}  // namespace ftes

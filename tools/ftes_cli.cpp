@@ -1,0 +1,169 @@
+// ftes_cli: synthesize a fault-tolerant implementation from a problem file.
+//
+// Usage:
+//   ftes_cli <problem.ftes> [options]
+//
+// Options:
+//   --seed <n>          tabu-search seed (default 1)
+//   --iterations <n>    tabu iterations (default 300)
+//   --no-tables         skip schedule-table generation (large designs)
+//   --root              emit a root schedule (fully transparent recovery)
+//   --json              dump schedule tables as JSON
+//   --c-source          dump schedule tables as C source
+//   --dot               dump the FT-CPG in GraphViz DOT
+//   --gantt             render the fault-free and a worst-case Gantt chart
+//
+// Exit status: 0 if a schedulable configuration was found, 2 otherwise,
+// 1 on usage/parse errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "core/synthesis.h"
+#include "ftcpg/builder.h"
+#include "io/app_parser.h"
+#include "sched/root_schedule.h"
+#include "sched/table_export.h"
+#include "sim/executor.h"
+#include "sim/gantt.h"
+
+using namespace ftes;
+
+namespace {
+
+struct CliOptions {
+  std::string input;
+  std::uint64_t seed = 1;
+  int iterations = 300;
+  bool tables = true;
+  bool root = false;
+  bool json = false;
+  bool c_source = false;
+  bool dot = false;
+  bool gantt = false;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ftes_cli <problem.ftes> [--seed n] [--iterations n] "
+               "[--no-tables] [--root] [--json] [--c-source] [--dot] "
+               "[--gantt]\n");
+  return 1;
+}
+
+bool parse_args(int argc, char** argv, CliOptions& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed" && i + 1 < argc) {
+      opts.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--iterations" && i + 1 < argc) {
+      opts.iterations = std::atoi(argv[++i]);
+    } else if (arg == "--no-tables") {
+      opts.tables = false;
+    } else if (arg == "--root") {
+      opts.root = true;
+    } else if (arg == "--json") {
+      opts.json = true;
+    } else if (arg == "--c-source") {
+      opts.c_source = true;
+    } else if (arg == "--dot") {
+      opts.dot = true;
+    } else if (arg == "--gantt") {
+      opts.gantt = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return false;
+    } else if (opts.input.empty()) {
+      opts.input = arg;
+    } else {
+      return false;
+    }
+  }
+  return !opts.input.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  if (!parse_args(argc, argv, opts)) return usage();
+
+  std::ifstream in(opts.input);
+  if (!in) {
+    std::fprintf(stderr, "ftes_cli: cannot open '%s'\n", opts.input.c_str());
+    return 1;
+  }
+
+  ParsedProblem problem;
+  try {
+    problem = parse_problem(in);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ftes_cli: %s: %s\n", opts.input.c_str(), e.what());
+    return 1;
+  }
+
+  SynthesisOptions synth;
+  synth.fault_model = problem.model;
+  synth.optimize.iterations = opts.iterations;
+  synth.optimize.seed = opts.seed;
+  synth.build_schedule_tables = opts.tables;
+
+  const SynthesisResult result =
+      synthesize(problem.app, problem.arch, synth);
+
+  std::printf("ftes: %d processes, %d messages, %d nodes, k = %d\n",
+              problem.app.process_count(), problem.app.message_count(),
+              problem.arch.node_count(), problem.model.k);
+  std::printf("\nPolicy assignment and mapping:\n%s",
+              result.assignment.summary(problem.app).c_str());
+  std::printf("\nWCSL %lld / deadline %lld -> %s\n",
+              static_cast<long long>(result.wcsl.makespan),
+              static_cast<long long>(problem.app.deadline()),
+              result.schedulable ? "schedulable" : "NOT schedulable");
+
+  if (result.schedule) {
+    const ExecutionReport report = check_all_scenarios(
+        problem.app, result.assignment, *result.schedule);
+    std::printf("Schedule tables: %d entries over %d scenarios, validation %s\n",
+                result.schedule->tables.total_entries(),
+                result.schedule->scenario_count, report.ok ? "OK" : "FAILED");
+    if (opts.json) {
+      std::printf("%s", tables_to_json(result.schedule->tables, problem.arch)
+                            .c_str());
+    }
+    if (opts.c_source) {
+      std::printf("%s",
+                  tables_to_c_source(result.schedule->tables, problem.arch)
+                      .c_str());
+    }
+    if (opts.gantt && !result.schedule->traces.empty()) {
+      std::printf("\nFault-free scenario:\n%s",
+                  render_gantt(problem.app, problem.arch, result.assignment,
+                               result.schedule->traces.front())
+                      .c_str());
+      // Worst scenario by makespan.
+      const ScenarioTrace* worst = &result.schedule->traces.front();
+      for (const ScenarioTrace& tr : result.schedule->traces) {
+        if (tr.makespan > worst->makespan) worst = &tr;
+      }
+      std::printf("\nWorst scenario:\n%s",
+                  render_gantt(problem.app, problem.arch, result.assignment,
+                               *worst)
+                      .c_str());
+    }
+  }
+
+  if (opts.root) {
+    const RootSchedule root = build_root_schedule(
+        problem.app, problem.arch, result.assignment, problem.model);
+    std::printf("\n%s", root.to_text(problem.app, problem.arch).c_str());
+  }
+
+  if (opts.dot) {
+    const Ftcpg g =
+        build_ftcpg(problem.app, result.assignment, problem.model);
+    std::printf("%s", g.to_dot().c_str());
+  }
+
+  return result.schedulable ? 0 : 2;
+}
