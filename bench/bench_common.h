@@ -3,9 +3,14 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "gen/taskgen.h"
 #include "opt/policy_assignment.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace ftes::bench {
 
@@ -39,5 +44,48 @@ inline OptimizeOptions bench_options(std::uint64_t seed) {
   opts.seed = seed;
   return opts;
 }
+
+/// Command line shared by the sweep benches:
+///   <bench> [seeds_per_size] [--threads n]
+/// Threads parallelize across instances (the per-instance optimizers stay
+/// serial so per-seed results are identical for every thread count).
+struct SweepConfig {
+  int seeds_per_size = 5;
+  int threads = 1;
+};
+
+inline SweepConfig parse_sweep_args(int argc, char** argv) {
+  SweepConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --threads needs a value\n", argv[0]);
+        std::exit(1);
+      }
+      cfg.threads = std::atoi(argv[++i]);
+    } else if (argv[i][0] >= '0' && argv[i][0] <= '9') {
+      cfg.seeds_per_size = std::atoi(argv[i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [seeds_per_size] [--threads n]\n",
+                   argv[0]);
+      std::exit(1);
+    }
+  }
+  return cfg;
+}
+
+/// Evaluates body(seed_index) for every seed of one sweep size, `threads`
+/// at a time, collecting results in seed order (deterministic output for
+/// any thread count).  `body` must be pure in everything but its slot.
+template <class Result, class Body>
+std::vector<Result> sweep_seeds(int seeds_per_size, int threads,
+                                const Body& body) {
+  std::vector<Result> results(static_cast<std::size_t>(seeds_per_size));
+  parallel_for(results.size(), resolve_threads(threads),
+               [&](std::size_t s) { results[s] = body(static_cast<int>(s)); });
+  return results;
+}
+
+using ftes::Stopwatch;  // wall-clock helper for the sweeps' summary lines
 
 }  // namespace ftes::bench

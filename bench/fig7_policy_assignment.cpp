@@ -24,42 +24,60 @@
 using namespace ftes;
 using namespace ftes::bench;
 
+namespace {
+
+struct SeedResult {
+  double mr = 0.0;
+  double sfx = 0.0;
+  double mx = 0.0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const int seeds_per_size = argc > 1 ? std::atoi(argv[1]) : 5;
+  const SweepConfig cfg = parse_sweep_args(argc, argv);
   const std::vector<int> sizes{20, 40, 60, 80, 100};
 
   std::printf("=== Fig. 7: efficiency of FT policy assignment ===\n");
-  std::printf("(avg %% deviation of FTO from MXR; %d instances/size)\n\n",
-              seeds_per_size);
+  std::printf("(avg %% deviation of FTO from MXR; %d instances/size, "
+              "%d thread(s))\n\n",
+              cfg.seeds_per_size, resolve_threads(cfg.threads));
   std::printf("  procs     MR      SFX     MX\n");
 
+  Stopwatch watch;
   std::vector<double> all_mr, all_sfx, all_mx;
   for (int size : sizes) {
+    const std::vector<SeedResult> seeds = sweep_seeds<SeedResult>(
+        cfg.seeds_per_size, cfg.threads, [&](int s) {
+          const std::uint64_t seed = 1000ull * static_cast<std::uint64_t>(size) +
+                                     static_cast<std::uint64_t>(s);
+          const Instance inst = make_instance(size, seed);
+          const FaultModel fm{inst.k};
+          const OptimizeOptions opts = bench_options(seed);
+
+          const Time nft = non_ft_reference(inst.app, inst.arch, opts);
+          const double fto_mxr = fto_percent(
+              run_mxr(inst.app, inst.arch, fm, opts).wcsl, nft);
+          const double fto_mr = fto_percent(
+              run_mr(inst.app, inst.arch, fm, opts).wcsl, nft);
+          const double fto_sfx = fto_percent(
+              run_sfx(inst.app, inst.arch, fm, opts).wcsl, nft);
+          const double fto_mx = fto_percent(
+              run_mx(inst.app, inst.arch, fm, opts).wcsl, nft);
+
+          // (FTO_x - FTO_MXR)/FTO_x: how much smaller MXR's overhead is.
+          auto improvement = [&](double fto_x) {
+            return fto_x > 0 ? 100.0 * (fto_x - fto_mxr) / fto_x : 0.0;
+          };
+          return SeedResult{improvement(fto_mr), improvement(fto_sfx),
+                            improvement(fto_mx)};
+        });
+
     std::vector<double> dev_mr, dev_sfx, dev_mx;
-    for (int s = 0; s < seeds_per_size; ++s) {
-      const std::uint64_t seed =
-          1000ull * static_cast<std::uint64_t>(size) + static_cast<std::uint64_t>(s);
-      const Instance inst = make_instance(size, seed);
-      const FaultModel fm{inst.k};
-      const OptimizeOptions opts = bench_options(seed);
-
-      const Time nft = non_ft_reference(inst.app, inst.arch, opts);
-      const double fto_mxr = fto_percent(
-          run_mxr(inst.app, inst.arch, fm, opts).wcsl, nft);
-      const double fto_mr = fto_percent(
-          run_mr(inst.app, inst.arch, fm, opts).wcsl, nft);
-      const double fto_sfx = fto_percent(
-          run_sfx(inst.app, inst.arch, fm, opts).wcsl, nft);
-      const double fto_mx = fto_percent(
-          run_mx(inst.app, inst.arch, fm, opts).wcsl, nft);
-
-      // (FTO_x - FTO_MXR)/FTO_x: how much smaller MXR's overhead is.
-      auto improvement = [&](double fto_x) {
-        return fto_x > 0 ? 100.0 * (fto_x - fto_mxr) / fto_x : 0.0;
-      };
-      dev_mr.push_back(improvement(fto_mr));
-      dev_sfx.push_back(improvement(fto_sfx));
-      dev_mx.push_back(improvement(fto_mx));
+    for (const SeedResult& r : seeds) {
+      dev_mr.push_back(r.mr);
+      dev_sfx.push_back(r.sfx);
+      dev_mx.push_back(r.mx);
     }
     std::printf("  %5d  %6.1f  %6.1f  %6.1f\n", size, mean(dev_mr),
                 mean(dev_sfx), mean(dev_mx));
@@ -72,5 +90,6 @@ int main(int argc, char** argv) {
               mean(all_mr), mean(all_sfx), mean(all_mx));
   std::printf("  (paper: 77%% better than MR, 17.6%% better than MX on "
               "average)\n");
+  std::printf("  wall-clock: %.2fs\n", watch.seconds());
   return 0;
 }

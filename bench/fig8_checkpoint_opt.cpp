@@ -18,66 +18,86 @@
 using namespace ftes;
 using namespace ftes::bench;
 
+namespace {
+
+struct SeedResult {
+  double fto_local = 0.0;
+  double fto_global = 0.0;
+  double deviation = 0.0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const int seeds_per_size = argc > 1 ? std::atoi(argv[1]) : 5;
+  const SweepConfig cfg = parse_sweep_args(argc, argv);
   const std::vector<int> sizes{40, 60, 80, 100};
   const int max_checkpoints = 8;
 
   std::printf("=== Fig. 8: efficiency of checkpointing optimization ===\n");
   std::printf("(avg %% FTO reduction of global [15] vs local [27]; "
-              "%d instances/size)\n\n",
-              seeds_per_size);
+              "%d instances/size, %d thread(s))\n\n",
+              cfg.seeds_per_size, resolve_threads(cfg.threads));
   std::printf("  procs   FTO_local  FTO_global  deviation%%\n");
 
+  Stopwatch watch;
   for (int size : sizes) {
+    const std::vector<SeedResult> seeds = sweep_seeds<SeedResult>(
+        cfg.seeds_per_size, cfg.threads, [&](int s) {
+          const std::uint64_t seed = 2000ull * static_cast<std::uint64_t>(size) +
+                                     static_cast<std::uint64_t>(s);
+          // Checkpointing-focused instances: chi/alpha/mu at 10-30% of the
+          // WCET (the upper half of the overhead range), where the
+          // per-process local optimum of [27] visibly over-checkpoints
+          // off-critical processes.
+          TaskGenParams params;
+          params.process_count = size;
+          Rng seeder(seed);
+          params.node_count = static_cast<int>(seeder.uniform_int(2, 6));
+          params.overhead_min_fraction = 0.10;
+          params.overhead_max_fraction = 0.30;
+          Instance inst;
+          inst.k = static_cast<int>(seeder.uniform_int(3, 7));
+          inst.app = generate_application(params, seeder);
+          inst.arch = generate_architecture(params);
+          const FaultModel fm{inst.k};
+          OptimizeOptions opts = bench_options(seed);
+          opts.space = PolicySpace::kCheckpointingOnly;
+          opts.max_checkpoints = max_checkpoints;
+
+          const Time nft = non_ft_reference(inst.app, inst.arch, opts);
+
+          // Shared mapping (optimized once in the checkpointing space),
+          // then the two checkpoint policies on top of it.
+          const OptimizeResult mapped =
+              optimize_policy_and_mapping(inst.app, inst.arch, fm, opts);
+
+          PolicyAssignment local = mapped.assignment;
+          apply_local_checkpointing(inst.app, local, max_checkpoints);
+          const Time wcsl_local =
+              evaluate_wcsl(inst.app, inst.arch, local, fm).makespan;
+
+          const CheckpointOptResult global = optimize_checkpoints_global(
+              inst.app, inst.arch, fm, local, max_checkpoints);
+
+          SeedResult r;
+          r.fto_local = fto_percent(wcsl_local, nft);
+          r.fto_global = fto_percent(global.wcsl, nft);
+          r.deviation = 100.0 * (r.fto_local - r.fto_global) /
+                        (r.fto_local > 0 ? r.fto_local : 1.0);
+          return r;
+        });
+
     std::vector<double> local_ftos, global_ftos, deviations;
-    for (int s = 0; s < seeds_per_size; ++s) {
-      const std::uint64_t seed =
-          2000ull * static_cast<std::uint64_t>(size) + static_cast<std::uint64_t>(s);
-      // Checkpointing-focused instances: chi/alpha/mu at 10-30% of the WCET
-      // (the upper half of the overhead range), where the per-process local
-      // optimum of [27] visibly over-checkpoints off-critical processes.
-      TaskGenParams params;
-      params.process_count = size;
-      Rng seeder(seed);
-      params.node_count = static_cast<int>(seeder.uniform_int(2, 6));
-      params.overhead_min_fraction = 0.10;
-      params.overhead_max_fraction = 0.30;
-      Instance inst;
-      inst.k = static_cast<int>(seeder.uniform_int(3, 7));
-      inst.app = generate_application(params, seeder);
-      inst.arch = generate_architecture(params);
-      const FaultModel fm{inst.k};
-      OptimizeOptions opts = bench_options(seed);
-      opts.space = PolicySpace::kCheckpointingOnly;
-      opts.max_checkpoints = max_checkpoints;
-
-      const Time nft = non_ft_reference(inst.app, inst.arch, opts);
-
-      // Shared mapping (optimized once in the checkpointing space), then
-      // the two checkpoint policies on top of it.
-      const OptimizeResult mapped =
-          optimize_policy_and_mapping(inst.app, inst.arch, fm, opts);
-
-      PolicyAssignment local = mapped.assignment;
-      apply_local_checkpointing(inst.app, local, max_checkpoints);
-      const Time wcsl_local =
-          evaluate_wcsl(inst.app, inst.arch, local, fm).makespan;
-
-      const CheckpointOptResult global = optimize_checkpoints_global(
-          inst.app, inst.arch, fm, local, max_checkpoints);
-
-      const double fto_local = fto_percent(wcsl_local, nft);
-      const double fto_global = fto_percent(global.wcsl, nft);
-      local_ftos.push_back(fto_local);
-      global_ftos.push_back(fto_global);
-      deviations.push_back(100.0 * (fto_local - fto_global) /
-                           (fto_local > 0 ? fto_local : 1.0));
+    for (const SeedResult& r : seeds) {
+      local_ftos.push_back(r.fto_local);
+      global_ftos.push_back(r.fto_global);
+      deviations.push_back(r.deviation);
     }
     std::printf("  %5d   %8.1f   %9.1f   %9.1f\n", size, mean(local_ftos),
                 mean(global_ftos), mean(deviations));
   }
   std::printf("\n  (paper's Fig. 8 reports deviations up to ~40%%, larger "
               "deviation = smaller overhead)\n");
+  std::printf("  wall-clock: %.2fs\n", watch.seconds());
   return 0;
 }

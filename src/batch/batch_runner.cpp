@@ -1,0 +1,125 @@
+#include "batch/batch_runner.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace ftes {
+
+namespace {
+
+BatchTaskResult run_one(const BatchTask& task, const BatchOptions& options,
+                        std::uint64_t seed) {
+  const Stopwatch watch;
+  BatchTaskResult r;
+  r.name = task.name;
+  r.seed = seed;
+  try {
+    const ParsedProblem problem = parse_problem_string(task.text);
+    SynthesisOptions synth = options.synthesis;
+    synth.fault_model = problem.model;
+    synth.optimize.seed = seed;
+    const SynthesisResult result = synthesize(problem.app, problem.arch, synth);
+    r.ok = true;
+    r.schedulable = result.schedulable;
+    r.wcsl = result.wcsl.makespan;
+    r.deadline = problem.app.deadline();
+    r.evaluations = result.evaluations;
+  } catch (const std::exception& e) {
+    r.ok = false;
+    r.error = e.what();
+  }
+  r.seconds = watch.seconds();
+  return r;
+}
+
+}  // namespace
+
+std::uint64_t derive_task_seed(std::uint64_t base_seed, std::size_t index) {
+  // SplitMix64 (Steele et al.): full-avalanche mix so neighbouring task
+  // indices get decorrelated optimizer streams.
+  std::uint64_t z = base_seed + 0x9E3779B97F4A7C15ull *
+                                    (static_cast<std::uint64_t>(index) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+BatchReport run_batch(const std::vector<BatchTask>& tasks,
+                      const BatchOptions& options) {
+  const Stopwatch watch;
+  BatchReport report;
+  report.results.resize(tasks.size());
+
+  const int threads = resolve_threads(options.threads);
+  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
+  parallel_for(pool, tasks.size(), threads, [&](std::size_t i) {
+    report.results[i] =
+        run_one(tasks[i], options, derive_task_seed(options.base_seed, i));
+  });
+
+  for (const BatchTaskResult& r : report.results) {
+    if (!r.ok) {
+      ++report.failed_count;
+    } else if (r.schedulable) {
+      ++report.schedulable_count;
+    }
+  }
+  report.seconds = watch.seconds();
+  return report;
+}
+
+std::vector<BatchTask> load_batch_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    throw std::runtime_error("batch: '" + dir + "' is not a directory");
+  }
+  std::vector<fs::path> paths;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".ftes") {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<BatchTask> tasks;
+  tasks.reserve(paths.size());
+  for (const fs::path& p : paths) {
+    std::ifstream in(p);
+    if (!in) throw std::runtime_error("batch: cannot read '" + p.string() + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    tasks.push_back(BatchTask{p.string(), text.str()});
+  }
+  return tasks;
+}
+
+std::string format_batch_report(const BatchReport& report) {
+  std::ostringstream out;
+  std::size_t width = 4;
+  for (const BatchTaskResult& r : report.results) {
+    width = std::max(width, r.name.size());
+  }
+  for (const BatchTaskResult& r : report.results) {
+    out << "  " << r.name << std::string(width - r.name.size() + 2, ' ');
+    if (!r.ok) {
+      out << "ERROR: " << r.error << "\n";
+      continue;
+    }
+    out << "wcsl " << r.wcsl << " / deadline " << r.deadline << "  "
+        << (r.schedulable ? "schedulable" : "NOT schedulable") << "  ("
+        << r.evaluations << " evals, seed " << r.seed << ")\n";
+  }
+  out << "  -- " << report.results.size() << " tasks, "
+      << report.schedulable_count << " schedulable, " << report.failed_count
+      << " failed\n";
+  return out.str();
+}
+
+}  // namespace ftes

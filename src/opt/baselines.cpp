@@ -13,6 +13,7 @@ MappingOptOptions mapping_options(const OptimizeOptions& base) {
   opts.tenure = base.tenure;
   opts.neighborhood = base.neighborhood;
   opts.seed = base.seed;
+  opts.threads = base.threads;
   return opts;
 }
 

@@ -5,6 +5,7 @@
 #include "opt/tabu.h"
 #include "sched/list_scheduler.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace ftes {
 
@@ -47,6 +48,8 @@ MappingOptResult optimize_mapping_no_ft(const Application& app,
                                         const MappingOptOptions& options) {
   Rng rng(options.seed);
   TabuList tabu(options.tenure);
+  const int threads = resolve_threads(options.threads);
+  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
 
   PolicyAssignment current = bare_greedy(app, arch);
   Time current_cost = list_schedule(app, arch, current).makespan;
@@ -54,10 +57,18 @@ MappingOptResult optimize_mapping_no_ft(const Application& app,
   Time best_cost = current_cost;
   int evaluations = 1;
 
+  // Sampled remap moves awaiting evaluation; generation is serial on the
+  // RNG, makespan evaluation is pure and parallel (same result for any
+  // thread count).
+  struct Candidate {
+    PolicyAssignment assignment;
+    TabuList::Key key;
+  };
+  std::vector<Candidate> candidates;
+  std::vector<Time> costs;
+
   for (int iter = 0; iter < options.iterations; ++iter) {
-    Time best_move_cost = kTimeInfinity;
-    PolicyAssignment best_move;
-    TabuList::Key best_key{};
+    candidates.clear();
     for (int s = 0; s < options.neighborhood; ++s) {
       const ProcessId pid{static_cast<std::int32_t>(
           rng.index(static_cast<std::size_t>(app.process_count())))};
@@ -73,19 +84,28 @@ MappingOptResult optimize_mapping_no_ft(const Application& app,
       if (to == copy.node) continue;
       copy.node = to;
       const TabuList::Key key{0, pid.get(), 0, to.get()};
-      const Time cost = list_schedule(app, arch, candidate).makespan;
-      ++evaluations;
-      if (tabu.is_tabu(key, iter) && cost >= best_cost) continue;
-      if (cost < best_move_cost) {
-        best_move_cost = cost;
-        best_move = candidate;
-        best_key = key;
+      candidates.push_back(Candidate{std::move(candidate), key});
+    }
+
+    costs.assign(candidates.size(), 0);
+    parallel_for(pool, candidates.size(), threads, [&](std::size_t i) {
+      costs[i] = list_schedule(app, arch, candidates[i].assignment).makespan;
+    });
+    evaluations += static_cast<int>(candidates.size());
+
+    Time best_move_cost = kTimeInfinity;
+    const Candidate* best_move = nullptr;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (tabu.is_tabu(candidates[i].key, iter, costs[i], best_cost)) continue;
+      if (costs[i] < best_move_cost) {
+        best_move_cost = costs[i];
+        best_move = &candidates[i];
       }
     }
-    if (best_move_cost == kTimeInfinity) continue;
-    current = best_move;
+    if (!best_move) continue;
+    current = best_move->assignment;
     current_cost = best_move_cost;
-    tabu.make_tabu(best_key, iter);
+    tabu.make_tabu(best_move->key, iter);
     if (current_cost < best_cost) {
       best_cost = current_cost;
       best = current;

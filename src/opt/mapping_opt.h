@@ -13,11 +13,18 @@
 
 namespace ftes {
 
+class ThreadPool;
+
 struct MappingOptOptions {
   int iterations = 200;
   int tenure = 8;
   int neighborhood = 16;
   std::uint64_t seed = 1;
+  /// Concurrent makespan evaluations of the sampled neighborhood (1 =
+  /// serial; 0 = all hardware threads); deterministic for any value.
+  int threads = 1;
+  /// Pool supplying the helper threads; nullptr = ThreadPool::shared().
+  ThreadPool* pool = nullptr;
 };
 
 struct MappingOptResult {

@@ -9,6 +9,7 @@
 #include "sched/wcsl.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace ftes {
 
@@ -156,6 +157,8 @@ OptimizeResult optimize_from(const Application& app, const Architecture& arch,
   initial.validate(app, model);
   Rng rng(options.seed);
   TabuList tabu(options.tenure);
+  const int threads = resolve_threads(options.threads);
+  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
 
   PolicyAssignment current = initial;
   Time current_cost = assignment_cost(app, arch, current, model);
@@ -166,11 +169,19 @@ OptimizeResult optimize_from(const Application& app, const Architecture& arch,
   // Move encoding for the tabu list: (family, process, a, b).
   enum MoveFamily { kRemap = 0, kPolicy = 1, kCheckpoint = 2 };
 
-  for (int iter = 0; iter < options.iterations; ++iter) {
-    Time best_move_cost = kTimeInfinity;
-    PolicyAssignment best_move;
-    TabuList::Key best_key{};
+  // A sampled neighborhood move awaiting evaluation.  Generation consumes
+  // the iteration's RNG serially; the WCSL evaluations are pure and run
+  // concurrently, so results do not depend on the thread count.
+  struct Candidate {
+    PolicyAssignment assignment;
+    TabuList::Key key;
+  };
+  std::vector<Candidate> candidates;
+  std::vector<Time> costs;
 
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    // --- phase 1: sample the neighborhood (serial, owns the RNG) ---------
+    candidates.clear();
     for (int s = 0; s < options.neighborhood; ++s) {
       PolicyAssignment candidate = current;
       TabuList::Key key{};
@@ -265,21 +276,31 @@ OptimizeResult optimize_from(const Application& app, const Architecture& arch,
         key = {kCheckpoint, pid.get(), copy, next};
       }
 
-      const Time cost = assignment_cost(app, arch, candidate, model);
-      ++evaluations;
-      const bool aspiration = cost < best_cost;
-      if (tabu.is_tabu(key, iter) && !aspiration) continue;
-      if (cost < best_move_cost) {
-        best_move_cost = cost;
-        best_move = candidate;
-        best_key = key;
+      candidates.push_back(Candidate{std::move(candidate), key});
+    }
+
+    // --- phase 2: evaluate all sampled moves (parallel, pure) ------------
+    costs.assign(candidates.size(), 0);
+    parallel_for(pool, candidates.size(), threads, [&](std::size_t i) {
+      costs[i] = assignment_cost(app, arch, candidates[i].assignment, model);
+    });
+    evaluations += static_cast<int>(candidates.size());
+
+    // --- phase 3: pick the admissible move (serial, in sample order) -----
+    Time best_move_cost = kTimeInfinity;
+    const Candidate* best_move = nullptr;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (tabu.is_tabu(candidates[i].key, iter, costs[i], best_cost)) continue;
+      if (costs[i] < best_move_cost) {
+        best_move_cost = costs[i];
+        best_move = &candidates[i];
       }
     }
 
-    if (best_move_cost == kTimeInfinity) continue;  // no admissible move
-    current = best_move;
+    if (!best_move) continue;  // no admissible move
+    current = best_move->assignment;
     current_cost = best_move_cost;
-    tabu.make_tabu(best_key, iter);
+    tabu.make_tabu(best_move->key, iter);
     if (current_cost < best_cost) {
       best_cost = current_cost;
       best = current;

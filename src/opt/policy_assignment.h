@@ -20,6 +20,8 @@
 
 namespace ftes {
 
+class ThreadPool;
+
 /// Search space restriction, used to express the paper's comparison
 /// baselines (Fig. 7).
 enum class PolicySpace {
@@ -41,6 +43,14 @@ struct OptimizeOptions {
   int neighborhood = 24;
   int max_checkpoints = 8;
   std::uint64_t seed = 1;
+  /// Concurrent WCSL evaluations of the sampled neighborhood (1 = serial;
+  /// 0 = all hardware threads).  Candidate generation stays serial on the
+  /// iteration's RNG, so the result is identical for every thread count.
+  int threads = 1;
+  /// Pool supplying the helper threads; nullptr = ThreadPool::shared().
+  /// Mainly for tests, which need a multi-worker pool even on single-core
+  /// machines (where the shared pool has no workers).
+  ThreadPool* pool = nullptr;
 };
 
 struct OptimizeResult {

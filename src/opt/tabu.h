@@ -6,11 +6,15 @@
 #include <map>
 #include <tuple>
 
+#include "util/time_types.h"
+
 namespace ftes {
 
-/// Move attributes recently applied are tabu for `tenure` iterations, with
-/// the usual aspiration override (a tabu move that improves the global best
-/// is always accepted).  Keys are 4-int tuples encoded by the caller.
+/// Move attributes recently applied are tabu for `tenure` iterations.  The
+/// plain is_tabu(key, iteration) only answers the recency question; callers
+/// wanting the usual aspiration criterion (a tabu move that improves the
+/// global best is accepted anyway) use the four-argument overload below.
+/// Keys are 4-int tuples encoded by the caller.
 class TabuList {
  public:
   explicit TabuList(int tenure) : tenure_(tenure) {}
@@ -20,6 +24,15 @@ class TabuList {
   [[nodiscard]] bool is_tabu(const Key& key, int iteration) const {
     auto it = expiry_.find(key);
     return it != expiry_.end() && it->second > iteration;
+  }
+
+  /// Aspiration-aware check: the move is rejected only if its attribute is
+  /// tabu AND its cost does not beat `best_cost` (the best cost seen so far
+  /// in the whole search).  Strict improvement is required, matching the
+  /// classic aspiration-by-objective criterion.
+  [[nodiscard]] bool is_tabu(const Key& key, int iteration, Time cost,
+                             Time best_cost) const {
+    return is_tabu(key, iteration) && cost >= best_cost;
   }
 
   void make_tabu(const Key& key, int iteration) {

@@ -23,6 +23,12 @@
 // Conservative choices (both standard in [13,16]): the static order of the
 // fault-free schedule is kept (the run-time scheduler can only do better),
 // and transmissions pay the full worst-case round wait.
+//
+// Thread safety: every function here is pure -- all inputs are taken by
+// const reference, and no global or cached state exists -- so concurrent
+// calls on shared Application/Architecture/PolicyAssignment objects are
+// safe.  The parallel optimizers (opt/) and the batch runner (batch/) rely
+// on this guarantee; keep new code here free of mutable/static state.
 #pragma once
 
 #include "app/application.h"

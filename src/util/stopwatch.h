@@ -1,0 +1,23 @@
+// Wall-clock stopwatch shared by the batch runner's reports and the
+// benches' summary lines.
+#pragma once
+
+#include <chrono>
+
+namespace ftes {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ftes

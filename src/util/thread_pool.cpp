@@ -1,0 +1,146 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <memory>
+
+namespace ftes {
+
+namespace {
+
+int default_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? static_cast<int>(hw) - 1 : 0;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int workers) {
+  const int count = workers >= 0 ? workers : default_workers();
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(-1);
+  return pool;
+}
+
+namespace {
+
+/// Shared state of one parallel_for call.  An iteration costs two brief
+/// lock acquisitions, which is noise next to an objective evaluation; in
+/// exchange the accounting is exact: the caller's wait returns only when no
+/// iteration is running and none can start, so helpers that fire late (the
+/// shared_ptr keeps the state alive for them) can never touch caller-owned
+/// buffers after parallel_for returned.
+struct ForState {
+  std::size_t n = 0;
+  std::function<void(std::size_t)> body;
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t next = 0;       ///< first unclaimed index; n blocks new claims
+  std::size_t claimed = 0;    ///< iterations handed to some thread
+  std::size_t completed = 0;  ///< iterations finished (even by exception)
+  std::exception_ptr error;   ///< first failure
+
+  void run() {
+    for (;;) {
+      std::size_t i;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (next >= n) return;
+        i = next++;
+        ++claimed;
+      }
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+        next = n;  // stop handing out indices; in-flight ones finish
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      ++completed;
+      if (completed == claimed && next >= n) done_cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+void parallel_for(ThreadPool& pool, std::size_t n, int threads,
+                  const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // Helpers beyond the pool's worker count would never be picked up on a
+  // saturated (or worker-less, single-core) pool and would pin the call's
+  // state in the queue; the caller covers the remainder itself.
+  const std::size_t helpers = std::min<std::size_t>(
+      {n - 1, threads > 1 ? static_cast<std::size_t>(threads) - 1 : 0,
+       static_cast<std::size_t>(pool.worker_count())});
+  if (helpers == 0) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->body = body;
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool.submit([state] { state->run(); });
+  }
+  state->run();  // the caller always works too (nesting-safe)
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done_cv.wait(lock, [&] {
+    return state->completed == state->claimed && state->next >= state->n;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+void parallel_for(std::size_t n, int threads,
+                  const std::function<void(std::size_t)>& body) {
+  parallel_for(ThreadPool::shared(), n, threads, body);
+}
+
+int resolve_threads(int requested) {
+  if (requested == 0) {
+    return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+  return std::max(1, requested);
+}
+
+}  // namespace ftes

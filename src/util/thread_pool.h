@@ -1,0 +1,78 @@
+// Minimal fixed-size thread pool and a blocking parallel_for on top of it.
+//
+// The design-space exploration spends nearly all of its time in pure
+// objective evaluations (sched/wcsl.h), which are embarrassingly parallel
+// across candidate moves and across problem instances.  This pool keeps the
+// parallelism simple and deadlock-free:
+//
+//   * one process-wide shared pool (hardware_concurrency - 1 workers),
+//   * parallel_for's calling thread always participates in the work, so a
+//     nested parallel_for (a batch task whose optimizer parallelizes its
+//     neighborhood) degrades to serial execution instead of deadlocking
+//     when every worker is busy,
+//   * no work stealing, no futures -- just an atomic index counter and a
+//     completion count per parallel_for call.
+//
+// Determinism: parallel_for(n, threads, body) calls body(i) exactly once
+// for every i in [0, n); callers write results into pre-sized slots indexed
+// by i, so the outcome is independent of thread count and interleaving.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ftes {
+
+class ThreadPool {
+ public:
+  /// `workers` < 0 picks hardware_concurrency() - 1; 0 is an explicit
+  /// zero-worker pool (legal: parallel_for then runs inline).
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> job);
+
+  [[nodiscard]] int worker_count() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// The process-wide pool used by parallel_for.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for every i in [0, n), using at most `threads` concurrent
+/// executors (the calling thread plus helpers from `pool`).  Helpers are
+/// additionally capped at the pool's worker count, so a worker-less pool
+/// (single-core hardware) degrades to the inline loop.  Blocks until every
+/// iteration finished.  threads <= 1 or n <= 1 runs inline with zero
+/// synchronization.  The first exception thrown by `body` is rethrown on
+/// the calling thread after the loop drains.
+void parallel_for(ThreadPool& pool, std::size_t n, int threads,
+                  const std::function<void(std::size_t)>& body);
+
+/// Same, on the process-wide shared pool.
+void parallel_for(std::size_t n, int threads,
+                  const std::function<void(std::size_t)>& body);
+
+/// Resolves a user-facing --threads value: 0 means "all hardware threads",
+/// anything else is clamped to >= 1.
+[[nodiscard]] int resolve_threads(int requested);
+
+}  // namespace ftes

@@ -70,7 +70,7 @@ TEST(AppParser, ErrorsCarryLineNumbers) {
 }
 
 TEST(AppParser, RejectsUnknownProcessInMessage) {
-  EXPECT_THROW(parse_problem_string(R"(
+  EXPECT_THROW((void)parse_problem_string(R"(
 arch nodes=1 slot=5
 k 0
 deadline 10
@@ -81,7 +81,7 @@ message m A Z
 }
 
 TEST(AppParser, RejectsNodeOutOfRange) {
-  EXPECT_THROW(parse_problem_string(R"(
+  EXPECT_THROW((void)parse_problem_string(R"(
 arch nodes=2 slot=5
 k 0
 deadline 10
@@ -91,7 +91,7 @@ process A wcet N3=5
 }
 
 TEST(AppParser, RejectsDuplicateProcess) {
-  EXPECT_THROW(parse_problem_string(R"(
+  EXPECT_THROW((void)parse_problem_string(R"(
 arch nodes=1 slot=5
 k 0
 deadline 10
@@ -102,13 +102,13 @@ process A wcet N1=6
 }
 
 TEST(AppParser, RequiresArchAndDeadline) {
-  EXPECT_THROW(parse_problem_string("k 1\n"), std::invalid_argument);
-  EXPECT_THROW(parse_problem_string("arch nodes=1 slot=5\nprocess A wcet N1=5\n"),
+  EXPECT_THROW((void)parse_problem_string("k 1\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse_problem_string("arch nodes=1 slot=5\nprocess A wcet N1=5\n"),
                std::invalid_argument);
 }
 
 TEST(AppParser, RejectsProcessBeforeArch) {
-  EXPECT_THROW(parse_problem_string("process A wcet N1=5\n"),
+  EXPECT_THROW((void)parse_problem_string("process A wcet N1=5\n"),
                std::invalid_argument);
 }
 

@@ -29,7 +29,7 @@ TEST(Digraph, RejectsSelfLoopAndBadVertices) {
   Digraph g(2);
   EXPECT_THROW(g.add_edge(0, 0), std::invalid_argument);
   EXPECT_THROW(g.add_edge(0, 5), std::out_of_range);
-  EXPECT_THROW(g.successors(9), std::out_of_range);
+  EXPECT_THROW((void)g.successors(9), std::out_of_range);
 }
 
 TEST(Digraph, TopologicalOrderRespectsEdges) {
@@ -51,7 +51,7 @@ TEST(Digraph, CycleDetection) {
   EXPECT_TRUE(g.is_acyclic());
   g.add_edge(2, 0);
   EXPECT_FALSE(g.is_acyclic());
-  EXPECT_THROW(g.topological_order(), std::invalid_argument);
+  EXPECT_THROW((void)g.topological_order(), std::invalid_argument);
 }
 
 TEST(Digraph, Reachability) {

@@ -132,7 +132,7 @@ TEST(Ftcpg, VertexCapGuardsExplosion) {
   auto f = fig5_app();
   FtcpgBuildOptions opts;
   opts.max_vertices = 5;
-  EXPECT_THROW(build_ftcpg(f.app, f.assignment, f.model, opts),
+  EXPECT_THROW((void)build_ftcpg(f.app, f.assignment, f.model, opts),
                std::length_error);
 }
 

@@ -47,8 +47,8 @@ TEST(Policy, HybridPlanShape) {
 }
 
 TEST(Policy, HybridRejectsDegenerateQ) {
-  EXPECT_THROW(make_hybrid_plan(2, 0, 1), std::invalid_argument);
-  EXPECT_THROW(make_hybrid_plan(2, 2, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_hybrid_plan(2, 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_hybrid_plan(2, 2, 1), std::invalid_argument);
 }
 
 // Property (Section 4 / DESIGN.md): the closed-form invariant

@@ -17,8 +17,8 @@ TEST(Recovery, SegmentLengthIsCeilDiv) {
 }
 
 TEST(Recovery, SegmentLengthRejectsBadArgs) {
-  EXPECT_THROW(segment_length(60, 0), std::invalid_argument);
-  EXPECT_THROW(segment_length(0, 1), std::invalid_argument);
+  EXPECT_THROW((void)segment_length(60, 0), std::invalid_argument);
+  EXPECT_THROW((void)segment_length(0, 1), std::invalid_argument);
 }
 
 TEST(Recovery, Fig1bFaultFreeWithTwoCheckpoints) {

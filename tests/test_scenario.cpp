@@ -22,7 +22,7 @@ TEST(FaultScenario, AccumulatesHits) {
   EXPECT_EQ(s.faults_on(c), 3);
   EXPECT_EQ(s.total_faults(), 3);
   EXPECT_EQ(s.faults_on(CopyRef{ProcessId{1}, 0}), 0);
-  EXPECT_THROW(s.add_fault(c, -1), std::invalid_argument);
+  EXPECT_THROW((void)s.add_fault(c, -1), std::invalid_argument);
 }
 
 TEST(FaultScenario, CopySurvivalAgainstRecoveries) {

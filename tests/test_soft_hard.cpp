@@ -68,7 +68,7 @@ TEST(SoftHard, EvaluateRejectsIllegalDropSets) {
   SoftFixture f = make_fixture(1000);
   std::vector<bool> drop_hard(4, false);
   drop_hard[static_cast<std::size_t>(f.h1.get())] = true;
-  EXPECT_THROW(evaluate_soft_hard(f.app, f.arch, f.pa, f.model, drop_hard),
+  EXPECT_THROW((void)evaluate_soft_hard(f.app, f.arch, f.pa, f.model, drop_hard),
                std::invalid_argument);
 }
 
@@ -78,7 +78,7 @@ TEST(SoftHard, EvaluateRejectsNonClosedDropSets) {
   f.app.connect(f.s1, f.s2);
   std::vector<bool> dropped(4, false);
   dropped[static_cast<std::size_t>(f.s1.get())] = true;
-  EXPECT_THROW(evaluate_soft_hard(f.app, f.arch, f.pa, f.model, dropped),
+  EXPECT_THROW((void)evaluate_soft_hard(f.app, f.arch, f.pa, f.model, dropped),
                std::invalid_argument);
 }
 

@@ -75,12 +75,12 @@ TEST(Synthesis, CheckpointRefinementNeverHurts) {
 TEST(Metrics, FtoPercent) {
   EXPECT_DOUBLE_EQ(fto_percent(150, 100), 50.0);
   EXPECT_DOUBLE_EQ(fto_percent(100, 100), 0.0);
-  EXPECT_THROW(fto_percent(100, 0), std::invalid_argument);
+  EXPECT_THROW((void)fto_percent(100, 0), std::invalid_argument);
 }
 
 TEST(Metrics, PercentDeviationAndMean) {
   EXPECT_DOUBLE_EQ(percent_deviation(77.0, 70.0), 10.0);
-  EXPECT_THROW(percent_deviation(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)percent_deviation(1.0, 0.0), std::invalid_argument);
   EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
   EXPECT_DOUBLE_EQ(mean({}), 0.0);
 }

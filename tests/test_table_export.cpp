@@ -11,11 +11,6 @@ namespace {
 
 using ::ftes::testing::fig5_app;
 
-CondScheduleResult schedule_fig5() {
-  auto f = fig5_app();
-  return conditional_schedule(f.app, f.arch, f.assignment, f.model);
-}
-
 TEST(TableExport, JsonContainsStructure) {
   auto f = fig5_app();
   const CondScheduleResult r =

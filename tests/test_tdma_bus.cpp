@@ -18,9 +18,9 @@ TEST(TdmaBus, UniformRoundLayout) {
 }
 
 TEST(TdmaBus, RejectsDegenerateConfigs) {
-  EXPECT_THROW(TdmaBus::uniform(0, 10), std::invalid_argument);
-  EXPECT_THROW(TdmaBus::uniform(2, 0), std::invalid_argument);
-  EXPECT_THROW(TdmaBus::from_slots({}), std::invalid_argument);
+  EXPECT_THROW((void)TdmaBus::uniform(0, 10), std::invalid_argument);
+  EXPECT_THROW((void)TdmaBus::uniform(2, 0), std::invalid_argument);
+  EXPECT_THROW((void)TdmaBus::from_slots({}), std::invalid_argument);
 }
 
 TEST(TdmaBus, NextSlotStartWaitsForOwnSlot) {
@@ -81,7 +81,7 @@ TEST(Architecture, HomogeneousFactory) {
   EXPECT_EQ(arch.node(NodeId{0}).name, "N1");
   EXPECT_EQ(arch.node(NodeId{3}).name, "N4");
   EXPECT_EQ(arch.bus().round_length(), 20);
-  EXPECT_THROW(arch.node(NodeId{4}), std::out_of_range);
+  EXPECT_THROW((void)arch.node(NodeId{4}), std::out_of_range);
 }
 
 }  // namespace

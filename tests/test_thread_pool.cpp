@@ -1,0 +1,114 @@
+// Tests of the thread pool and parallel_for (util/thread_pool.h): coverage
+// of every index, determinism of slot-indexed writes, nesting safety, and
+// exception propagation.
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace ftes {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedJobs) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.worker_count(), 2);
+  int ran = 0;
+  std::mutex mutex;
+  std::condition_variable cv;
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&] {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (++ran == 16) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&] { return ran == 16; });
+  EXPECT_EQ(ran, 16);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolIsLegal) {
+  // parallel_for never strands work on a zero-worker pool because the
+  // caller participates; the pool itself just holds the queue.
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0);
+}
+
+// An explicit multi-worker pool exercises the genuinely concurrent path
+// even on single-core machines, where ThreadPool::shared() has no workers
+// and the shared-pool overload degrades to the inline loop.
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  for (int threads : {1, 2, 4, 8}) {
+    std::vector<std::atomic<int>> hits(97);
+    for (auto& h : hits) h.store(0);
+    parallel_for(pool, hits.size(), threads,
+                 [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << ", " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ParallelFor, SlotWritesAreDeterministicAcrossThreadCounts) {
+  ThreadPool pool(4);
+  auto run = [&pool](int threads) {
+    std::vector<long> out(500);
+    parallel_for(pool, out.size(), threads, [&](std::size_t i) {
+      out[i] = static_cast<long>(i * i + 7);
+    });
+    return out;
+  };
+  const std::vector<long> serial = run(1);
+  EXPECT_EQ(serial, run(3));
+  EXPECT_EQ(serial, run(16));
+}
+
+TEST(ParallelFor, HandlesEmptyAndSingleton) {
+  int calls = 0;
+  parallel_for(0, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, NestedCallsDoNotDeadlock) {
+  // Outer tasks each run an inner parallel_for on the same pool; with
+  // caller participation this completes even when every worker is busy.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> inner_sums(8);
+  for (auto& s : inner_sums) s.store(0);
+  parallel_for(pool, inner_sums.size(), 4, [&](std::size_t outer) {
+    parallel_for(pool, 32, 4,
+                 [&](std::size_t) { inner_sums[outer].fetch_add(1); });
+  });
+  for (auto& s : inner_sums) EXPECT_EQ(s.load(), 32);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      parallel_for(pool, 64, 4,
+                   [](std::size_t i) {
+                     if (i == 13) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // The pool stays usable afterwards.
+  std::atomic<int> ran{0};
+  parallel_for(pool, 16, 4, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ResolveThreads, MapsRequestsSensibly) {
+  EXPECT_EQ(resolve_threads(1), 1);
+  EXPECT_EQ(resolve_threads(4), 4);
+  EXPECT_EQ(resolve_threads(-3), 1);
+  EXPECT_GE(resolve_threads(0), 1);  // "all hardware threads"
+}
+
+}  // namespace
+}  // namespace ftes

@@ -2,10 +2,17 @@
 //
 // Usage:
 //   ftes_cli <problem.ftes> [options]
+//   ftes_cli --batch <dir> [options]
 //
 // Options:
 //   --seed <n>          tabu-search seed (default 1)
 //   --iterations <n>    tabu iterations (default 300)
+//   --threads <n>       parallelism: neighborhood evaluations in single-
+//                       problem mode, concurrent problems in --batch mode
+//                       (default 1; 0 = all hardware threads)
+//   --batch <dir>       synthesize every *.ftes file under <dir>; reports
+//                       the analytic WCSL only (tables are never built),
+//                       and the per-problem output flags below are rejected
 //   --no-tables         skip schedule-table generation (large designs)
 //   --root              emit a root schedule (fully transparent recovery)
 //   --json              dump schedule tables as JSON
@@ -13,13 +20,15 @@
 //   --dot               dump the FT-CPG in GraphViz DOT
 //   --gantt             render the fault-free and a worst-case Gantt chart
 //
-// Exit status: 0 if a schedulable configuration was found, 2 otherwise,
-// 1 on usage/parse errors.
+// Exit status: 0 if a schedulable configuration was found (in batch mode:
+// every task synthesized without error), 2 otherwise, 1 on usage/parse
+// errors.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 
+#include "batch/batch_runner.h"
 #include "core/synthesis.h"
 #include "ftcpg/builder.h"
 #include "io/app_parser.h"
@@ -27,6 +36,7 @@
 #include "sched/table_export.h"
 #include "sim/executor.h"
 #include "sim/gantt.h"
+#include "util/thread_pool.h"
 
 using namespace ftes;
 
@@ -34,8 +44,10 @@ namespace {
 
 struct CliOptions {
   std::string input;
+  std::string batch_dir;
   std::uint64_t seed = 1;
   int iterations = 300;
+  int threads = 1;
   bool tables = true;
   bool root = false;
   bool json = false;
@@ -47,8 +59,10 @@ struct CliOptions {
 int usage() {
   std::fprintf(stderr,
                "usage: ftes_cli <problem.ftes> [--seed n] [--iterations n] "
-               "[--no-tables] [--root] [--json] [--c-source] [--dot] "
-               "[--gantt]\n");
+               "[--threads n] [--no-tables] [--root] [--json] [--c-source] "
+               "[--dot] [--gantt]\n"
+               "       ftes_cli --batch <dir> [--seed n] [--iterations n] "
+               "[--threads n]\n");
   return 1;
 }
 
@@ -59,6 +73,10 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       opts.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--iterations" && i + 1 < argc) {
       opts.iterations = std::atoi(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      opts.threads = std::atoi(argv[++i]);
+    } else if (arg == "--batch" && i + 1 < argc) {
+      opts.batch_dir = argv[++i];
     } else if (arg == "--no-tables") {
       opts.tables = false;
     } else if (arg == "--root") {
@@ -79,7 +97,45 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       return false;
     }
   }
-  return !opts.input.empty();
+  return !opts.input.empty() || !opts.batch_dir.empty();
+}
+
+int run_batch_mode(const CliOptions& opts) {
+  // Per-problem output flags have nowhere to go in the batch report.
+  if (opts.root || opts.json || opts.c_source || opts.dot || opts.gantt) {
+    std::fprintf(stderr,
+                 "ftes_cli: --root/--json/--c-source/--dot/--gantt are not "
+                 "available in --batch mode\n");
+    return 1;
+  }
+
+  std::vector<BatchTask> tasks;
+  try {
+    tasks = load_batch_dir(opts.batch_dir);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ftes_cli: %s\n", e.what());
+    return 1;
+  }
+  if (tasks.empty()) {
+    std::fprintf(stderr, "ftes_cli: no .ftes files under '%s'\n",
+                 opts.batch_dir.c_str());
+    return 1;
+  }
+
+  BatchOptions batch;
+  batch.threads = opts.threads;
+  batch.base_seed = opts.seed;
+  batch.synthesis.optimize.iterations = opts.iterations;
+  // The batch report only uses the analytic WCSL; building the
+  // (exponential-in-k) schedule tables per task would dominate the run
+  // and be thrown away.
+  batch.synthesis.build_schedule_tables = false;
+
+  const BatchReport report = run_batch(tasks, batch);
+  std::printf("ftes batch: %zu problems, %d thread(s), %.2fs\n%s",
+              tasks.size(), resolve_threads(opts.threads), report.seconds,
+              format_batch_report(report).c_str());
+  return report.failed_count == 0 ? 0 : 2;
 }
 
 }  // namespace
@@ -87,6 +143,10 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
 int main(int argc, char** argv) {
   CliOptions opts;
   if (!parse_args(argc, argv, opts)) return usage();
+  if (!opts.batch_dir.empty()) {
+    if (!opts.input.empty()) return usage();  // one mode at a time
+    return run_batch_mode(opts);
+  }
 
   std::ifstream in(opts.input);
   if (!in) {
@@ -106,6 +166,7 @@ int main(int argc, char** argv) {
   synth.fault_model = problem.model;
   synth.optimize.iterations = opts.iterations;
   synth.optimize.seed = opts.seed;
+  synth.optimize.threads = opts.threads;
   synth.build_schedule_tables = opts.tables;
 
   const SynthesisResult result =
