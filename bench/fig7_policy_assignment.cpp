@@ -30,6 +30,7 @@ struct SeedResult {
   double mr = 0.0;
   double sfx = 0.0;
   double mx = 0.0;
+  EvalStats stats;  ///< evaluator counters over all four approaches
 };
 
 }  // namespace
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
 
   Stopwatch watch;
   std::vector<double> all_mr, all_sfx, all_mx;
+  EvalStats total;
   for (int size : sizes) {
     const std::vector<SeedResult> seeds = sweep_seeds<SeedResult>(
         cfg.seeds_per_size, cfg.threads, [&](int s) {
@@ -56,21 +58,26 @@ int main(int argc, char** argv) {
           const OptimizeOptions opts = bench_options(seed);
 
           const Time nft = non_ft_reference(inst.app, inst.arch, opts);
-          const double fto_mxr = fto_percent(
-              run_mxr(inst.app, inst.arch, fm, opts).wcsl, nft);
-          const double fto_mr = fto_percent(
-              run_mr(inst.app, inst.arch, fm, opts).wcsl, nft);
-          const double fto_sfx = fto_percent(
-              run_sfx(inst.app, inst.arch, fm, opts).wcsl, nft);
-          const double fto_mx = fto_percent(
-              run_mx(inst.app, inst.arch, fm, opts).wcsl, nft);
+          const OptimizeResult mxr = run_mxr(inst.app, inst.arch, fm, opts);
+          const OptimizeResult mr = run_mr(inst.app, inst.arch, fm, opts);
+          const OptimizeResult sfx = run_sfx(inst.app, inst.arch, fm, opts);
+          const OptimizeResult mx = run_mx(inst.app, inst.arch, fm, opts);
+          const double fto_mxr = fto_percent(mxr.wcsl, nft);
+          const double fto_mr = fto_percent(mr.wcsl, nft);
+          const double fto_sfx = fto_percent(sfx.wcsl, nft);
+          const double fto_mx = fto_percent(mx.wcsl, nft);
 
           // (FTO_x - FTO_MXR)/FTO_x: how much smaller MXR's overhead is.
           auto improvement = [&](double fto_x) {
             return fto_x > 0 ? 100.0 * (fto_x - fto_mxr) / fto_x : 0.0;
           };
-          return SeedResult{improvement(fto_mr), improvement(fto_sfx),
-                            improvement(fto_mx)};
+          SeedResult r{improvement(fto_mr), improvement(fto_sfx),
+                       improvement(fto_mx), EvalStats{}};
+          r.stats.add(mxr.eval_stats);
+          r.stats.add(mr.eval_stats);
+          r.stats.add(sfx.eval_stats);
+          r.stats.add(mx.eval_stats);
+          return r;
         });
 
     std::vector<double> dev_mr, dev_sfx, dev_mx;
@@ -78,6 +85,7 @@ int main(int argc, char** argv) {
       dev_mr.push_back(r.mr);
       dev_sfx.push_back(r.sfx);
       dev_mx.push_back(r.mx);
+      total.add(r.stats);
     }
     std::printf("  %5d  %6.1f  %6.1f  %6.1f\n", size, mean(dev_mr),
                 mean(dev_sfx), mean(dev_mx));
@@ -90,6 +98,14 @@ int main(int argc, char** argv) {
               mean(all_mr), mean(all_sfx), mean(all_mx));
   std::printf("  (paper: 77%% better than MR, 17.6%% better than MX on "
               "average)\n");
+  std::printf("\n  incremental evaluator: %lld evaluations (%lld incremental"
+              ", %lld fault-free, %lld rebases)\n",
+              total.evaluations, total.incremental_evals,
+              total.fault_free_evals, total.rebases);
+  std::printf("  WCSL DP rows: %lld of %lld served from the base cache "
+              "(%.1f%% of the DP work skipped)\n",
+              total.dp_vertices_reused, total.dp_vertices_total,
+              100.0 * total.dp_reuse_fraction());
   std::printf("  wall-clock: %.2fs\n", watch.seconds());
   return 0;
 }

@@ -1,12 +1,15 @@
-// google-benchmark microbenches for the library's hot paths: the WCSL DP
-// (called tens of thousands of times by the optimizers), the list
-// scheduler, the FT-CPG construction, the conditional scheduler, the
-// recovery algebra and the task-graph generator.
-#include <benchmark/benchmark.h>
+// Microbenches for the library's hot paths: the WCSL DP (called tens of
+// thousands of times by the optimizers), incremental vs. full per-move
+// evaluation, the list scheduler, the FT-CPG construction, the conditional
+// scheduler, the recovery algebra and the task-graph generator.  Runs on
+// Google Benchmark when available, else on the plain-chrono fallback of
+// plain_bench.h.
+#include "plain_bench.h"
 
 #include "fault/recovery.h"
 #include "ftcpg/builder.h"
 #include "gen/taskgen.h"
+#include "opt/eval_context.h"
 #include "opt/policy_assignment.h"
 #include "sched/cond_scheduler.h"
 #include "sched/wcsl.h"
@@ -77,6 +80,50 @@ void BM_EvaluateWcsl(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EvaluateWcsl)->Arg(20)->Arg(50)->Arg(100);
+
+// The checkpoint-move target: a DAG sink (args == 1, the evaluator's
+// favorable case -- nothing downstream to dirty) or the first source
+// (args == 0, the unfavorable case).  The tabu mix samples in between.
+ProcessId move_target(const Setup& s, bool sink) {
+  const std::vector<ProcessId> order = s.app.topological_order();
+  return sink ? order.back() : order.front();
+}
+
+// A per-move evaluation the way the tabu search used to do it: copy the
+// whole assignment, flip one checkpoint count, evaluate from scratch.
+void BM_EvalMoveFullCopy(benchmark::State& state) {
+  const Setup s = make_setup(static_cast<int>(state.range(0)), 4, 5);
+  const ProcessId pid = move_target(s, state.range(1) != 0);
+  int flip = 0;
+  for (auto _ : state) {
+    PolicyAssignment candidate = s.assignment;
+    CopyPlan& cp = candidate.plan(pid).copies[0];
+    cp.checkpoints = 1 + (cp.checkpoints + (flip ^= 1)) % 8;
+    benchmark::DoNotOptimize(
+        assignment_cost(s.app, s.arch, candidate, s.model));
+  }
+}
+BENCHMARK(BM_EvalMoveFullCopy)->Args({50, 0})->Args({50, 1})->Args({100, 1});
+
+// The same moves through the incremental EvalContext: one plan copied, DP
+// rows outside the affected DAG region reused from the base cache.
+void BM_EvalMoveIncremental(benchmark::State& state) {
+  const Setup s = make_setup(static_cast<int>(state.range(0)), 4, 5);
+  const ProcessId pid = move_target(s, state.range(1) != 0);
+  EvalContext eval(s.app, s.arch, s.model);
+  eval.rebase(s.assignment);
+  int flip = 0;
+  for (auto _ : state) {
+    ProcessPlan plan = s.assignment.plan(pid);
+    CopyPlan& cp = plan.copies[0];
+    cp.checkpoints = 1 + (cp.checkpoints + (flip ^= 1)) % 8;
+    benchmark::DoNotOptimize(eval.evaluate_move(pid, plan).cost);
+  }
+}
+BENCHMARK(BM_EvalMoveIncremental)
+    ->Args({50, 0})
+    ->Args({50, 1})
+    ->Args({100, 1});
 
 void BM_FtcpgBuild(benchmark::State& state) {
   const Setup s = make_setup(static_cast<int>(state.range(0)), 2,

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/json_io.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -20,16 +21,21 @@ BatchTaskResult run_one(const BatchTask& task, const BatchOptions& options,
   r.name = task.name;
   r.seed = seed;
   try {
-    const ParsedProblem problem = parse_problem_string(task.text);
+    ParsedProblem problem = parse_problem_string(task.text);
     SynthesisOptions synth = options.synthesis;
     synth.fault_model = problem.model;
     synth.optimize.seed = seed;
-    const SynthesisResult result = synthesize(problem.app, problem.arch, synth);
+    // Run the pipeline directly (rather than through synthesize()) to keep
+    // the per-stage metrics for the machine-readable report.
+    SynthesisContext ctx(problem.app, problem.arch, synth);
+    Pipeline pipeline = Pipeline::default_pipeline();
+    const SynthesisResult result = pipeline.run(ctx);
     r.ok = true;
     r.schedulable = result.schedulable;
     r.wcsl = result.wcsl.makespan;
     r.deadline = problem.app.deadline();
     r.evaluations = result.evaluations;
+    r.stages = pipeline.metrics();
   } catch (const std::exception& e) {
     r.ok = false;
     r.error = e.what();
@@ -119,6 +125,36 @@ std::string format_batch_report(const BatchReport& report) {
   out << "  -- " << report.results.size() << " tasks, "
       << report.schedulable_count << " schedulable, " << report.failed_count
       << " failed\n";
+  return out.str();
+}
+
+std::string format_batch_report_json(const BatchReport& report) {
+  std::ostringstream out;
+  out << "{\n  \"tasks\": [\n";
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    const BatchTaskResult& r = report.results[i];
+    out << "    {\"name\": ";
+    json_escape(out, r.name);
+    out << ", \"seed\": " << r.seed
+        << ", \"ok\": " << (r.ok ? "true" : "false");
+    if (!r.ok) {
+      out << ", \"error\": ";
+      json_escape(out, r.error);
+    }
+    out << ", \"schedulable\": " << (r.schedulable ? "true" : "false")
+        << ", \"wcsl\": " << r.wcsl << ", \"deadline\": " << r.deadline
+        << ", \"evaluations\": " << r.evaluations << ", \"seconds\": ";
+    json_seconds(out, r.seconds);
+    out << ", \"stages\": " << metrics_to_json(r.stages) << "}";
+    if (i + 1 < report.results.size()) out << ",";
+    out << "\n";
+  }
+  out << "  ],\n  \"task_count\": " << report.results.size()
+      << ",\n  \"schedulable_count\": " << report.schedulable_count
+      << ",\n  \"failed_count\": " << report.failed_count
+      << ",\n  \"seconds\": ";
+  json_seconds(out, report.seconds);
+  out << "\n}\n";
   return out.str();
 }
 

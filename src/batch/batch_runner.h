@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/pipeline.h"
 #include "core/synthesis.h"
 #include "io/app_parser.h"
 
@@ -54,6 +55,9 @@ struct BatchTaskResult {
   int evaluations = 0;
   std::uint64_t seed = 0;   ///< the derived per-task seed actually used
   double seconds = 0.0;     ///< wall-clock of this task
+  /// Per-stage pipeline metrics of this task's synthesis (empty when the
+  /// task failed before the pipeline ran).
+  std::vector<StageMetrics> stages;
 };
 
 struct BatchReport {
@@ -80,5 +84,9 @@ struct BatchReport {
 
 /// Human-readable table of a batch report (one line per task + summary).
 [[nodiscard]] std::string format_batch_report(const BatchReport& report);
+
+/// Machine-readable JSON report (per-task seed, schedulable flag, WCSL,
+/// evaluations, wall-clock and per-stage metrics; schema in docs/CLI.md).
+[[nodiscard]] std::string format_batch_report_json(const BatchReport& report);
 
 }  // namespace ftes

@@ -1,0 +1,163 @@
+#include "core/pipeline.h"
+
+#include <sstream>
+#include <utility>
+
+#include "util/json_io.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace ftes {
+
+namespace {
+
+void fill_eval_metrics(StageMetrics& metrics, const EvalStats& spent) {
+  metrics.evaluations = spent.evaluations;
+  metrics.cache_hits = spent.dp_vertices_reused;
+  metrics.cache_misses = spent.dp_vertices_total - spent.dp_vertices_reused;
+}
+
+}  // namespace
+
+std::string StageMetrics::to_json() const {
+  std::ostringstream out;
+  out << "{\"stage\": ";
+  json_escape(out, stage);
+  out << ", \"skipped\": " << (skipped ? "true" : "false")
+      << ", \"evaluations\": " << evaluations
+      << ", \"cache_hits\": " << cache_hits
+      << ", \"cache_misses\": " << cache_misses << ", \"seconds\": ";
+  json_seconds(out, seconds);
+  out << "}";
+  return out.str();
+}
+
+std::string metrics_to_json(const std::vector<StageMetrics>& stages) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << stages[i].to_json();
+  }
+  out << "]";
+  return out.str();
+}
+
+SynthesisContext::SynthesisContext(Application app, Architecture arch,
+                                   SynthesisOptions options)
+    : app_(std::move(app)),
+      arch_(std::move(arch)),
+      options_(std::move(options)),
+      eval_(app_, arch_, options_.fault_model) {
+  app_.validate(arch_);
+  options_.fault_model.validate();
+}
+
+ThreadPool& SynthesisContext::pool() const {
+  return options_.optimize.pool ? *options_.optimize.pool
+                                : ThreadPool::shared();
+}
+
+void PolicyAssignmentStage::run(SynthesisContext& ctx, SynthesisState& state,
+                                StageMetrics& metrics) {
+  OptimizeOptions opt = ctx.options().optimize;
+  opt.eval = &ctx.eval();
+  opt.cancel = ctx.cancel_flag();
+  OptimizeResult r =
+      optimize_policy_and_mapping(ctx.app(), ctx.arch(), ctx.model(), opt);
+  state.assignment = std::move(r.assignment);
+  state.wcsl_bound = r.wcsl;
+  state.schedulable = r.schedulable;
+  state.evaluations += r.evaluations;
+  fill_eval_metrics(metrics, r.eval_stats);
+}
+
+void CheckpointRefineStage::run(SynthesisContext& ctx, SynthesisState& state,
+                                StageMetrics& metrics) {
+  const SynthesisOptions& options = ctx.options();
+  if (!options.refine_checkpoints || !options.optimize.optimize_checkpoints) {
+    metrics.skipped = true;
+    return;
+  }
+  CheckpointOptOptions opt;
+  opt.max_checkpoints = options.optimize.max_checkpoints;
+  opt.threads = options.optimize.threads;
+  opt.pool = options.optimize.pool;
+  opt.eval = &ctx.eval();
+  opt.cancel = ctx.cancel_flag();
+  CheckpointOptResult r = optimize_checkpoints_global(
+      ctx.app(), ctx.arch(), ctx.model(), std::move(state.assignment), opt);
+  state.assignment = std::move(r.assignment);
+  state.wcsl_bound = r.wcsl;
+  state.evaluations += r.evaluations;
+  fill_eval_metrics(metrics, r.eval_stats);
+}
+
+void ScheduleTableStage::run(SynthesisContext& ctx, SynthesisState& state,
+                             StageMetrics& metrics) {
+  const SynthesisOptions& options = ctx.options();
+  state.wcsl = ctx.eval().evaluate_full(state.assignment);
+  state.schedulable = state.wcsl.meets_deadlines(ctx.app());
+  metrics.evaluations = 1;
+  if (options.build_schedule_tables) {
+    try {
+      CondScheduleOptions sched = options.schedule;
+      sched.threads = options.optimize.threads;
+      sched.pool = options.optimize.pool;
+      state.schedule = conditional_schedule(ctx.app(), ctx.arch(),
+                                            state.assignment, ctx.model(),
+                                            sched);
+      // The scenario-exact WCSL can only be tighter than the analytic bound.
+      state.schedulable = state.schedulable ||
+                          state.schedule->wcsl <= ctx.app().deadline();
+    } catch (const std::length_error& e) {
+      FTES_LOG(kInfo) << "schedule tables skipped: " << e.what();
+    }
+  }
+}
+
+Pipeline& Pipeline::add(std::unique_ptr<Stage> stage) {
+  stages_.push_back(std::move(stage));
+  return *this;
+}
+
+SynthesisResult Pipeline::run(SynthesisContext& ctx) {
+  metrics_.assign(stages_.size(), StageMetrics{});
+  SynthesisState state;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    Stage& stage = *stages_[i];
+    StageMetrics& metrics = metrics_[i];
+    metrics.stage = stage.name();
+    if (ctx.cancel_requested()) {
+      metrics.skipped = true;
+      continue;
+    }
+    StageProgress progress{static_cast<int>(i), stage_count(), stage.name(),
+                           false};
+    ctx.report_progress(progress);
+    const Stopwatch watch;
+    stage.run(ctx, state, metrics);
+    metrics.seconds = watch.seconds();
+    progress.finished = true;
+    ctx.report_progress(progress);
+  }
+
+  SynthesisResult result;
+  result.assignment = std::move(state.assignment);
+  result.wcsl = std::move(state.wcsl);
+  result.schedule = std::move(state.schedule);
+  result.schedulable = state.schedulable;
+  result.evaluations = state.evaluations;
+  return result;
+}
+
+Pipeline Pipeline::default_pipeline() {
+  Pipeline pipeline;
+  pipeline.add(std::make_unique<PolicyAssignmentStage>())
+      .add(std::make_unique<CheckpointRefineStage>())
+      .add(std::make_unique<ScheduleTableStage>());
+  return pipeline;
+}
+
+}  // namespace ftes

@@ -1,0 +1,191 @@
+// Stage-based synthesis pipeline (the staged flow of Section 6 as a
+// first-class API).
+//
+// The paper's synthesis is inherently staged -- policy assignment +
+// mapping, checkpoint refinement, conditional schedule-table generation --
+// and tools want to run, skip, reorder or instrument individual stages
+// without re-wiring them by hand.  A Pipeline is an ordered list of Stage
+// objects sharing one SynthesisContext, which owns the problem (app /
+// architecture / fault model + options), the deterministic seed and thread
+// configuration, progress/cancellation hooks, and the shared incremental
+// EvalContext (each optimizer rebases it on its own start; sharing reuses
+// its workspaces and aggregates its counters).  Stages read and write a
+// typed SynthesisState and report structured StageMetrics (evaluations,
+// cache hits/misses, wall-clock) that serialize to JSON.
+//
+// `synthesize()` (core/synthesis.h) is a thin wrapper over
+// Pipeline::default_pipeline() and produces bit-identical results.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/synthesis.h"
+#include "opt/eval_context.h"
+
+namespace ftes {
+
+class ThreadPool;
+
+/// Structured report of one stage run.
+struct StageMetrics {
+  std::string stage;
+  bool skipped = false;       ///< disabled by options or cancelled
+  long long evaluations = 0;  ///< objective evaluations spent in the stage
+  long long cache_hits = 0;   ///< WCSL DP rows served from the EvalContext
+  long long cache_misses = 0; ///< WCSL DP rows recomputed
+  double seconds = 0.0;       ///< wall-clock of the stage
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// JSON array of per-stage metrics (schema documented in docs/CLI.md).
+[[nodiscard]] std::string metrics_to_json(
+    const std::vector<StageMetrics>& stages);
+
+/// Progress notification: one callback when a stage starts
+/// (finished = false) and one when it completes (finished = true).
+struct StageProgress {
+  int index = 0;      ///< 0-based stage index
+  int count = 0;      ///< total stages in the pipeline
+  std::string stage;  ///< stage name
+  bool finished = false;
+};
+using ProgressCallback = std::function<void(const StageProgress&)>;
+
+/// The typed blackboard the stages read and write.
+struct SynthesisState {
+  PolicyAssignment assignment;  ///< F and M (after the optimizer stages)
+  Time wcsl_bound = 0;          ///< analytic WCSL of the optimizer stages
+  WcslResult wcsl;              ///< full analytic result (analysis stage)
+  std::optional<CondScheduleResult> schedule;  ///< S, if built
+  bool schedulable = false;
+  int evaluations = 0;          ///< objective evaluations, legacy counting
+};
+
+/// Shared per-run context: problem, options, pool, seed, progress and
+/// cancellation, and the incremental evaluator.  Owns copies of the
+/// application and architecture so its lifetime is self-contained.
+class SynthesisContext {
+ public:
+  /// Validates the model like the legacy facade did (throws
+  /// std::invalid_argument on model errors).
+  SynthesisContext(Application app, Architecture arch,
+                   SynthesisOptions options);
+
+  [[nodiscard]] const Application& app() const { return app_; }
+  [[nodiscard]] const Architecture& arch() const { return arch_; }
+  [[nodiscard]] const SynthesisOptions& options() const { return options_; }
+  [[nodiscard]] const FaultModel& model() const {
+    return options_.fault_model;
+  }
+  [[nodiscard]] std::uint64_t seed() const { return options_.optimize.seed; }
+  [[nodiscard]] int threads() const { return options_.optimize.threads; }
+  [[nodiscard]] ThreadPool& pool() const;
+
+  [[nodiscard]] EvalContext& eval() { return eval_; }
+
+  void on_progress(ProgressCallback callback) {
+    progress_ = std::move(callback);
+  }
+  void report_progress(const StageProgress& progress) const {
+    if (progress_) progress_(progress);
+  }
+
+  /// Cooperative cancellation: stages still to run are skipped, running
+  /// optimizers return their best-so-far.  Callable from any thread (e.g.
+  /// a progress callback or a watchdog).
+  void request_cancel() { cancel_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancel_requested() const {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::atomic<bool>* cancel_flag() const {
+    return &cancel_;
+  }
+
+ private:
+  Application app_;
+  Architecture arch_;
+  SynthesisOptions options_;
+  EvalContext eval_;
+  ProgressCallback progress_;
+  std::atomic<bool> cancel_{false};
+};
+
+/// One synthesis stage.  Implementations read/write the SynthesisState and
+/// fill the evaluation counters of their StageMetrics (the pipeline fills
+/// name, wall-clock and skip state).
+class Stage {
+ public:
+  virtual ~Stage() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  virtual void run(SynthesisContext& ctx, SynthesisState& state,
+                   StageMetrics& metrics) = 0;
+};
+
+/// Tabu-search mapping + fault-tolerance policy assignment (src/opt).
+class PolicyAssignmentStage : public Stage {
+ public:
+  [[nodiscard]] const char* name() const override {
+    return "policy_assignment";
+  }
+  void run(SynthesisContext& ctx, SynthesisState& state,
+           StageMetrics& metrics) override;
+};
+
+/// Global checkpoint-count refinement (skips itself unless both
+/// options.refine_checkpoints and options.optimize.optimize_checkpoints).
+class CheckpointRefineStage : public Stage {
+ public:
+  [[nodiscard]] const char* name() const override {
+    return "checkpoint_refine";
+  }
+  void run(SynthesisContext& ctx, SynthesisState& state,
+           StageMetrics& metrics) override;
+};
+
+/// Final analytic WCSL + schedulability, plus conditional schedule tables
+/// when options.build_schedule_tables (length_error from the exponential
+/// scenario tree downgrades to the analytic bound, as before).
+class ScheduleTableStage : public Stage {
+ public:
+  [[nodiscard]] const char* name() const override {
+    return "schedule_tables";
+  }
+  void run(SynthesisContext& ctx, SynthesisState& state,
+           StageMetrics& metrics) override;
+};
+
+class Pipeline {
+ public:
+  Pipeline() = default;
+  Pipeline(Pipeline&&) = default;
+  Pipeline& operator=(Pipeline&&) = default;
+
+  Pipeline& add(std::unique_ptr<Stage> stage);
+  [[nodiscard]] int stage_count() const {
+    return static_cast<int>(stages_.size());
+  }
+
+  /// Runs the stages in order against one context.  Per-stage metrics are
+  /// available from metrics() afterwards.
+  SynthesisResult run(SynthesisContext& ctx);
+
+  [[nodiscard]] const std::vector<StageMetrics>& metrics() const {
+    return metrics_;
+  }
+
+  /// The stages `synthesize()` runs: policy assignment, checkpoint
+  /// refinement, schedule tables.
+  [[nodiscard]] static Pipeline default_pipeline();
+
+ private:
+  std::vector<std::unique_ptr<Stage>> stages_;
+  std::vector<StageMetrics> metrics_;
+};
+
+}  // namespace ftes

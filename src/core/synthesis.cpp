@@ -1,47 +1,16 @@
 #include "core/synthesis.h"
 
-#include "util/logging.h"
+#include "core/pipeline.h"
 
 namespace ftes {
 
 SynthesisResult synthesize(const Application& app, const Architecture& arch,
                            const SynthesisOptions& options) {
-  app.validate(arch);
-  options.fault_model.validate();
-
-  SynthesisResult result;
-
-  OptimizeResult opt =
-      optimize_policy_and_mapping(app, arch, options.fault_model,
-                                  options.optimize);
-  result.evaluations = opt.evaluations;
-
-  if (options.refine_checkpoints && options.optimize.optimize_checkpoints) {
-    CheckpointOptResult refined = optimize_checkpoints_global(
-        app, arch, options.fault_model, std::move(opt.assignment),
-        options.optimize.max_checkpoints);
-    result.evaluations += refined.evaluations;
-    opt.assignment = std::move(refined.assignment);
-    opt.wcsl = refined.wcsl;
-  }
-
-  result.assignment = std::move(opt.assignment);
-  result.wcsl =
-      evaluate_wcsl(app, arch, result.assignment, options.fault_model);
-  result.schedulable = result.wcsl.meets_deadlines(app);
-
-  if (options.build_schedule_tables) {
-    try {
-      result.schedule = conditional_schedule(
-          app, arch, result.assignment, options.fault_model, options.schedule);
-      // The scenario-exact WCSL can only be tighter than the analytic bound.
-      result.schedulable =
-          result.schedulable || result.schedule->wcsl <= app.deadline();
-    } catch (const std::length_error& e) {
-      FTES_LOG(kInfo) << "schedule tables skipped: " << e.what();
-    }
-  }
-  return result;
+  // Thin wrapper over the default pipeline (core/pipeline.h): same stages,
+  // same order, bit-identical results (asserted by tests/test_pipeline.cpp).
+  SynthesisContext ctx(app, arch, options);
+  Pipeline pipeline = Pipeline::default_pipeline();
+  return pipeline.run(ctx);
 }
 
 }  // namespace ftes

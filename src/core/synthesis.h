@@ -10,10 +10,12 @@
 // such that the k faults are tolerated, transparency is honoured, and the
 // deadlines hold.
 //
-// This facade chains the library's stages: tabu-search policy assignment +
-// mapping (src/opt), global checkpoint refinement (src/opt), and, when the
-// scenario space allows it, conditional scheduling into schedule tables
-// (src/sched).  Each stage is available separately for tooling.
+// This facade runs the default synthesis pipeline (core/pipeline.h):
+// tabu-search policy assignment + mapping (src/opt), global checkpoint
+// refinement (src/opt), and, when the scenario space allows it, conditional
+// scheduling into schedule tables (src/sched).  Tooling that needs to run,
+// skip, instrument or cancel individual stages should build a Pipeline and
+// SynthesisContext directly; the results are bit-identical.
 #pragma once
 
 #include <optional>

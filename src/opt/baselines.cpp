@@ -37,9 +37,13 @@ OptimizeResult run_mxr(const Application& app, const Architecture& arch,
   const OptimizeResult mx = optimize_policy_and_mapping(app, arch, model, mx_opts);
   OptimizeResult from_mx = optimize_from(app, arch, model, opts, mx.assignment);
   from_mx.evaluations += mx.evaluations;
+  from_mx.eval_stats.add(mx.eval_stats);
 
   OptimizeResult& best = from_mx.wcsl < from_greedy.wcsl ? from_mx : from_greedy;
   best.evaluations = from_greedy.evaluations + from_mx.evaluations;
+  EvalStats stats = from_greedy.eval_stats;
+  stats.add(from_mx.eval_stats);
+  best.eval_stats = stats;
   return best;
 }
 
@@ -78,6 +82,9 @@ OptimizeResult run_sfx(const Application& app, const Architecture& arch,
   result.wcsl = wcsl.makespan;
   result.schedulable = wcsl.meets_deadlines(app);
   result.evaluations = mapping.evaluations + 1;
+  result.eval_stats = mapping.eval_stats;
+  result.eval_stats.evaluations += 1;
+  result.eval_stats.full_evals += 1;
   return result;
 }
 

@@ -1,10 +1,15 @@
 #include "opt/checkpoint_opt.h"
 
+#include <algorithm>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "fault/recovery.h"
+#include "opt/eval_context.h"
 #include "sched/wcsl.h"
+#include "util/thread_pool.h"
 
 namespace ftes {
 
@@ -44,47 +49,97 @@ std::vector<std::pair<ProcessId, int>> checkpointed_copies(
 
 }  // namespace
 
-CheckpointOptResult optimize_checkpoints_global(const Application& app,
-                                                const Architecture& arch,
-                                                const FaultModel& model,
-                                                PolicyAssignment initial,
-                                                int max_checkpoints,
-                                                int max_rounds) {
+CheckpointOptResult optimize_checkpoints_global(
+    const Application& app, const Architecture& arch, const FaultModel& model,
+    PolicyAssignment initial, const CheckpointOptOptions& options) {
+  std::unique_ptr<EvalContext> owned_eval;
+  EvalContext* eval = options.eval;
+  if (!eval) {
+    owned_eval = std::make_unique<EvalContext>(app, arch, model);
+    eval = owned_eval.get();
+  }
+  const EvalStats stats_before = eval->stats();
+  const int threads = resolve_threads(options.threads);
+  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
+
   CheckpointOptResult result;
   result.assignment = std::move(initial);
-  result.wcsl = evaluate_wcsl(app, arch, result.assignment, model).makespan;
+  result.wcsl = eval->rebase(result.assignment).makespan;
   result.evaluations = 1;
 
   const auto targets = checkpointed_copies(app, result.assignment);
-  for (int round = 0; round < max_rounds; ++round) {
+  std::vector<int> candidates;
+  std::vector<Time> wcsls;
+  bool cancelled = false;
+  for (int round = 0; round < options.max_rounds && !cancelled; ++round) {
     bool improved = false;
     for (const auto& [pid, j] : targets) {
+      if (options.cancel &&
+          options.cancel->load(std::memory_order_relaxed)) {
+        cancelled = true;
+        break;
+      }
       CopyPlan& copy =
           result.assignment.plan(pid).copies[static_cast<std::size_t>(j)];
       // Neighbour counts plus the "no intermediate checkpoints" extreme --
       // off-critical processes often want n = 1 to shed the n*chi overhead
       // entirely, which +-1 steps reach only through a cost plateau.
       const int current = copy.checkpoints;
+      candidates.clear();
       for (int next : {current - 2, current - 1, current + 1, current + 2, 1}) {
-        if (next < 1 || next > max_checkpoints || next == copy.checkpoints) {
+        if (next < 1 || next > options.max_checkpoints || next == current ||
+            std::find(candidates.begin(), candidates.end(), next) !=
+                candidates.end()) {
           continue;
         }
-        const int saved = copy.checkpoints;
-        copy.checkpoints = next;
-        const Time wcsl =
-            evaluate_wcsl(app, arch, result.assignment, model).makespan;
-        ++result.evaluations;
-        if (wcsl < result.wcsl) {
-          result.wcsl = wcsl;
-          improved = true;
-        } else {
-          copy.checkpoints = saved;
+        candidates.push_back(next);
+      }
+      if (candidates.empty()) continue;
+
+      // All candidate counts are judged against the same incumbent, so
+      // their (incremental) evaluations run concurrently; the selection
+      // below is serial in candidate order for thread-count invariance.
+      wcsls.assign(candidates.size(), 0);
+      parallel_for(pool, candidates.size(), threads, [&](std::size_t n) {
+        ProcessPlan plan = result.assignment.plan(pid);
+        plan.copies[static_cast<std::size_t>(j)].checkpoints =
+            candidates[n];
+        wcsls[n] = eval->evaluate_move(pid, plan).makespan;
+      });
+      result.evaluations += static_cast<int>(candidates.size());
+
+      int chosen = -1;
+      Time chosen_wcsl = result.wcsl;
+      for (std::size_t n = 0; n < candidates.size(); ++n) {
+        if (wcsls[n] < chosen_wcsl) {
+          chosen_wcsl = wcsls[n];
+          chosen = static_cast<int>(n);
         }
+      }
+      if (chosen >= 0) {
+        copy.checkpoints = candidates[static_cast<std::size_t>(chosen)];
+        result.wcsl = chosen_wcsl;
+        improved = true;
+        eval->rebase(result.assignment);
       }
     }
     if (!improved) break;
   }
+  result.eval_stats = eval->stats().since(stats_before);
   return result;
+}
+
+CheckpointOptResult optimize_checkpoints_global(const Application& app,
+                                                const Architecture& arch,
+                                                const FaultModel& model,
+                                                PolicyAssignment initial,
+                                                int max_checkpoints,
+                                                int max_rounds) {
+  CheckpointOptOptions options;
+  options.max_checkpoints = max_checkpoints;
+  options.max_rounds = max_rounds;
+  return optimize_checkpoints_global(app, arch, model, std::move(initial),
+                                     options);
 }
 
 CheckpointOptResult optimize_checkpoints_exact(const Application& app,

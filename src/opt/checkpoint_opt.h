@@ -10,13 +10,19 @@
 // (standing in for an ILP formulation, DESIGN.md Section 5).
 #pragma once
 
+#include <atomic>
+
 #include "app/application.h"
 #include "arch/architecture.h"
 #include "fault/fault_model.h"
 #include "fault/policy.h"
+#include "opt/eval_stats.h"
 #include "util/time_types.h"
 
 namespace ftes {
+
+class EvalContext;
+class ThreadPool;
 
 /// Sets X of every checkpointed copy to the isolated optimum of [27]
 /// (each copy considered alone, tolerating all of its recoveries).
@@ -28,11 +34,35 @@ struct CheckpointOptResult {
   PolicyAssignment assignment;
   Time wcsl = 0;
   int evaluations = 0;
+  EvalStats eval_stats;  ///< evaluator counters spent by this run
 };
 
-/// Coordinate descent: repeatedly sweep all checkpointed copies, trying
-/// X-1 / X+1 (and keeping any strict WCSL improvement) until a full sweep
-/// makes no progress or `max_rounds` is hit.
+struct CheckpointOptOptions {
+  int max_checkpoints = 8;
+  int max_rounds = 8;
+  /// Concurrent WCSL evaluations of a copy's candidate counts (1 = serial;
+  /// 0 = all hardware threads).  Candidates are evaluated against the same
+  /// incumbent and selected serially in candidate order, so the result is
+  /// identical for every thread count.
+  int threads = 1;
+  /// Pool supplying the helper threads; nullptr = ThreadPool::shared().
+  ThreadPool* pool = nullptr;
+  /// Shared incremental evaluator; nullptr = a private one.
+  EvalContext* eval = nullptr;
+  /// Cooperative cancellation, checked once per target copy.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// Coordinate descent: repeatedly sweep all checkpointed copies; for each
+/// copy the candidate counts X-2 / X-1 / X+1 / X+2 / 1 ("no intermediate
+/// checkpoints") are evaluated concurrently against the incumbent and the
+/// best strict WCSL improvement (earliest candidate on ties) is kept.
+/// Sweeps repeat until one makes no progress or max_rounds is hit.
+[[nodiscard]] CheckpointOptResult optimize_checkpoints_global(
+    const Application& app, const Architecture& arch, const FaultModel& model,
+    PolicyAssignment initial, const CheckpointOptOptions& options);
+
+/// Back-compatible convenience overload.
 [[nodiscard]] CheckpointOptResult optimize_checkpoints_global(
     const Application& app, const Architecture& arch, const FaultModel& model,
     PolicyAssignment initial, int max_checkpoints, int max_rounds = 8);

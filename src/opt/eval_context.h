@@ -1,0 +1,140 @@
+// Shared incremental evaluation context of the design-space exploration.
+//
+// The tabu optimizers and the checkpoint refinement evaluate tens of
+// thousands of candidates per run, each differing from an incumbent
+// assignment in a single process plan.  Evaluating a candidate from
+// scratch pays twice: a full PolicyAssignment copy per candidate and a
+// full budgeted-longest-path DP (sched/wcsl.h) over the augmented schedule
+// DAG.  EvalContext removes both costs:
+//
+//   * Moves are expressed as (process, new ProcessPlan) against a cached
+//     *base* assignment.  Per-thread workspaces materialize a candidate by
+//     swapping the one plan in and out, so no full assignment is copied
+//     per candidate.
+//   * The base's DP rows are cached.  A candidate's augmented DAG is
+//     diffed against the base's: a vertex whose release, weight table and
+//     predecessor set are unchanged, and whose predecessors are all clean,
+//     reuses the cached row; everything downstream of a change is
+//     recomputed (dirty-successor propagation).
+//
+// Results are bit-identical to a from-scratch evaluation: the fault-free
+// list schedule is always rebuilt exactly, and a reused row equals the row
+// the full DP would compute (the same integer recurrence on inputs proven
+// equal by the diff).  The win is skipping the DP work outside the DAG
+// region a move actually touches; EvalStats reports the reuse rate.
+//
+// Thread safety: evaluate_move / fault_free_makespan may run concurrently
+// (the parallel neighborhood evaluation relies on this); rebase /
+// rebase_fault_free must not race with in-flight evaluations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "app/application.h"
+#include "arch/architecture.h"
+#include "fault/fault_model.h"
+#include "fault/policy.h"
+#include "opt/eval_stats.h"
+#include "sched/list_scheduler.h"
+#include "sched/wcsl.h"
+
+namespace ftes {
+
+class EvalContext {
+ public:
+  /// The referenced application/architecture must outlive the context.
+  EvalContext(const Application& app, const Architecture& arch,
+              FaultModel model);
+
+  struct Outcome {
+    Time makespan = 0;  ///< analytic WCSL makespan
+    Time cost = 0;      ///< makespan + soft local-deadline penalties
+  };
+
+  /// Recomputes the cached schedule + DP for `base` (one full evaluation)
+  /// and returns its outcome.  Invalidates workspaces lazily.
+  Outcome rebase(const PolicyAssignment& base);
+
+  /// Caches `base` for fault-free (list-schedule makespan) move evaluation
+  /// only; no DP (and no base schedule) is built -- callers that need the
+  /// base's own makespan already have it from the move evaluation that won.
+  void rebase_fault_free(const PolicyAssignment& base);
+
+  /// WCSL outcome of base-with-plan(pid)-replaced-by-plan, evaluated
+  /// incrementally against the cached DP.  Requires a prior rebase().
+  [[nodiscard]] Outcome evaluate_move(ProcessId pid, const ProcessPlan& plan);
+
+  /// Fault-free list-schedule makespan of the same move (the mapping
+  /// optimizer's objective).  Requires any prior rebase.
+  [[nodiscard]] Time fault_free_makespan(ProcessId pid,
+                                         const ProcessPlan& plan);
+
+  /// Non-incremental evaluation of an arbitrary assignment (stats-counted).
+  [[nodiscard]] WcslResult evaluate_full(const PolicyAssignment& assignment);
+
+  [[nodiscard]] const PolicyAssignment& base() const { return base_; }
+  [[nodiscard]] const FaultModel& model() const { return model_; }
+
+  /// Snapshot of the (atomic) counters; safe to call concurrently.
+  [[nodiscard]] EvalStats stats() const;
+
+ private:
+  struct Workspace {
+    PolicyAssignment assignment;
+    std::uint64_t version = 0;
+    std::vector<std::vector<Time>> L;
+    std::vector<int> to_base;
+    std::vector<char> clean;
+    std::vector<int> mapped_preds;
+    std::vector<Time> process_finish;
+  };
+
+  [[nodiscard]] std::unique_ptr<Workspace> acquire();
+  void put_back(std::unique_ptr<Workspace> ws);
+
+  /// Applies plan to the workspace's base copy, runs `body(ws)`, restores.
+  template <class Body>
+  auto with_move(ProcessId pid, const ProcessPlan& plan, const Body& body);
+
+  [[nodiscard]] Outcome incremental_outcome(Workspace& ws);
+  [[nodiscard]] Time penalized_cost(const std::vector<Time>& process_finish,
+                                    Time makespan) const;
+
+  const Application& app_;
+  const Architecture& arch_;
+  FaultModel model_;
+
+  // Cached base: assignment, its fault-free schedule, augmented DAG, DP
+  // rows, and lookup structures for the candidate diff.
+  PolicyAssignment base_;
+  std::uint64_t version_ = 0;
+  bool base_has_dp_ = false;
+  ListSchedule base_sched_;
+  WcslDag base_dag_;
+  std::vector<std::vector<Time>> base_L_;
+  // Flat (process, copy) -> base vertex and (message, source copy) -> base
+  // vertex lookups via prefix offsets over the *base* plan shapes; -1 for
+  // keys absent from the base schedule.
+  std::vector<int> base_first_copy_;
+  std::vector<int> base_copy_vertex_;
+  std::vector<int> base_first_tx_;
+  std::vector<int> base_msg_vertex_;
+  std::vector<std::vector<int>> base_sorted_preds_;
+
+  std::mutex ws_mutex_;
+  std::vector<std::unique_ptr<Workspace>> idle_ws_;
+
+  std::atomic<long long> evaluations_{0};
+  std::atomic<long long> full_evals_{0};
+  std::atomic<long long> incremental_evals_{0};
+  std::atomic<long long> fault_free_evals_{0};
+  std::atomic<long long> rebases_{0};
+  std::atomic<long long> dp_vertices_total_{0};
+  std::atomic<long long> dp_vertices_reused_{0};
+};
+
+}  // namespace ftes

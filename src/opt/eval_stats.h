@@ -1,0 +1,56 @@
+// Counters of the incremental evaluation context (opt/eval_context.h),
+// kept in a tiny header so optimizer result structs can embed them without
+// pulling in the evaluator itself.
+//
+// `evaluations` counts objective evaluations of any kind; the remaining
+// counters break down how they were served.  The DP vertex counters are
+// the cache metric of the pipeline's per-stage reports: a reused vertex is
+// a budgeted-longest-path row taken from the cached base instead of being
+// recomputed.
+#pragma once
+
+namespace ftes {
+
+struct EvalStats {
+  long long evaluations = 0;        ///< objective evaluations, any kind
+  long long full_evals = 0;         ///< complete list-schedule + DP runs
+  long long incremental_evals = 0;  ///< move evals against the cached base
+  long long fault_free_evals = 0;   ///< list-schedule-only makespan evals
+  long long rebases = 0;            ///< base recomputations (full DP each)
+  long long dp_vertices_total = 0;  ///< DP rows needed by incremental evals
+  long long dp_vertices_reused = 0; ///< of those, rows served from the cache
+
+  /// Fraction of DP rows served from the cache across incremental evals.
+  [[nodiscard]] double dp_reuse_fraction() const {
+    return dp_vertices_total > 0
+               ? static_cast<double>(dp_vertices_reused) /
+                     static_cast<double>(dp_vertices_total)
+               : 0.0;
+  }
+
+  void add(const EvalStats& other) {
+    evaluations += other.evaluations;
+    full_evals += other.full_evals;
+    incremental_evals += other.incremental_evals;
+    fault_free_evals += other.fault_free_evals;
+    rebases += other.rebases;
+    dp_vertices_total += other.dp_vertices_total;
+    dp_vertices_reused += other.dp_vertices_reused;
+  }
+
+  /// Counter deltas since `earlier` (used to attribute a shared context's
+  /// work to one optimizer run / pipeline stage).
+  [[nodiscard]] EvalStats since(const EvalStats& earlier) const {
+    EvalStats d = *this;
+    d.evaluations -= earlier.evaluations;
+    d.full_evals -= earlier.full_evals;
+    d.incremental_evals -= earlier.incremental_evals;
+    d.fault_free_evals -= earlier.fault_free_evals;
+    d.rebases -= earlier.rebases;
+    d.dp_vertices_total -= earlier.dp_vertices_total;
+    d.dp_vertices_reused -= earlier.dp_vertices_reused;
+    return d;
+  }
+};
+
+}  // namespace ftes

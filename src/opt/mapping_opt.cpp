@@ -1,7 +1,9 @@
 #include "opt/mapping_opt.h"
 
+#include <utility>
 #include <vector>
 
+#include "opt/eval_context.h"
 #include "opt/tabu.h"
 #include "sched/list_scheduler.h"
 #include "util/random.h"
@@ -50,24 +52,33 @@ MappingOptResult optimize_mapping_no_ft(const Application& app,
   TabuList tabu(options.tenure);
   const int threads = resolve_threads(options.threads);
   ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
+  // Fault-free objective: the evaluator only rebuilds list schedules, so
+  // the fault model is irrelevant (k = 0 keeps validation happy).
+  EvalContext eval(app, arch, FaultModel{0});
 
   PolicyAssignment current = bare_greedy(app, arch);
+  eval.rebase_fault_free(current);
   Time current_cost = list_schedule(app, arch, current).makespan;
   PolicyAssignment best = current;
   Time best_cost = current_cost;
   int evaluations = 1;
 
-  // Sampled remap moves awaiting evaluation; generation is serial on the
-  // RNG, makespan evaluation is pure and parallel (same result for any
-  // thread count).
+  // Sampled remap moves awaiting evaluation (one rewritten plan each, not
+  // a whole assignment copy); generation is serial on the RNG, makespan
+  // evaluation is pure and parallel (same result for any thread count).
   struct Candidate {
-    PolicyAssignment assignment;
+    ProcessId pid;
+    ProcessPlan plan;
     TabuList::Key key;
   };
   std::vector<Candidate> candidates;
   std::vector<Time> costs;
 
   for (int iter = 0; iter < options.iterations; ++iter) {
+    if (options.cancel &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      break;
+    }
     candidates.clear();
     for (int s = 0; s < options.neighborhood; ++s) {
       const ProcessId pid{static_cast<std::int32_t>(
@@ -78,18 +89,18 @@ MappingOptResult optimize_mapping_no_ft(const Application& app,
       for (NodeId n : arch.node_ids()) {
         if (proc.can_run_on(n)) allowed.push_back(n);
       }
-      PolicyAssignment candidate = current;
-      CopyPlan& copy = candidate.plan(pid).copies[0];
+      ProcessPlan plan = current.plan(pid);
       const NodeId to = allowed[rng.index(allowed.size())];
-      if (to == copy.node) continue;
-      copy.node = to;
+      if (to == plan.copies[0].node) continue;
+      plan.copies[0].node = to;
       const TabuList::Key key{0, pid.get(), 0, to.get()};
-      candidates.push_back(Candidate{std::move(candidate), key});
+      candidates.push_back(Candidate{pid, std::move(plan), key});
     }
 
     costs.assign(candidates.size(), 0);
     parallel_for(pool, candidates.size(), threads, [&](std::size_t i) {
-      costs[i] = list_schedule(app, arch, candidates[i].assignment).makespan;
+      costs[i] =
+          eval.fault_free_makespan(candidates[i].pid, candidates[i].plan);
     });
     evaluations += static_cast<int>(candidates.size());
 
@@ -103,7 +114,8 @@ MappingOptResult optimize_mapping_no_ft(const Application& app,
       }
     }
     if (!best_move) continue;
-    current = best_move->assignment;
+    current.plan(best_move->pid) = best_move->plan;
+    eval.rebase_fault_free(current);
     current_cost = best_move_cost;
     tabu.make_tabu(best_move->key, iter);
     if (current_cost < best_cost) {
@@ -116,6 +128,7 @@ MappingOptResult optimize_mapping_no_ft(const Application& app,
   result.assignment = best;
   result.makespan = best_cost;
   result.evaluations = evaluations;
+  result.eval_stats = eval.stats();
   return result;
 }
 

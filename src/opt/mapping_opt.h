@@ -4,11 +4,13 @@
 // the first stage of the straightforward SFX baseline of Fig. 7.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "app/application.h"
 #include "arch/architecture.h"
 #include "fault/policy.h"
+#include "opt/eval_stats.h"
 #include "util/time_types.h"
 
 namespace ftes {
@@ -25,6 +27,8 @@ struct MappingOptOptions {
   int threads = 1;
   /// Pool supplying the helper threads; nullptr = ThreadPool::shared().
   ThreadPool* pool = nullptr;
+  /// Cooperative cancellation, checked once per tabu iteration.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct MappingOptResult {
@@ -34,6 +38,7 @@ struct MappingOptResult {
   PolicyAssignment assignment;
   Time makespan = 0;  ///< fault-free list-schedule makespan
   int evaluations = 0;
+  EvalStats eval_stats;  ///< evaluator counters spent by this run
 };
 
 /// Tabu search over process-to-node mapping minimizing the fault-free

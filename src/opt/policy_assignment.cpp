@@ -1,10 +1,13 @@
 #include "opt/policy_assignment.h"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "fault/recovery.h"
+#include "opt/eval_context.h"
 #include "opt/tabu.h"
 #include "sched/wcsl.h"
 #include "util/logging.h"
@@ -159,9 +162,16 @@ OptimizeResult optimize_from(const Application& app, const Architecture& arch,
   TabuList tabu(options.tenure);
   const int threads = resolve_threads(options.threads);
   ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
+  std::unique_ptr<EvalContext> owned_eval;
+  EvalContext* eval = options.eval;
+  if (!eval) {
+    owned_eval = std::make_unique<EvalContext>(app, arch, model);
+    eval = owned_eval.get();
+  }
+  const EvalStats stats_before = eval->stats();
 
-  PolicyAssignment current = initial;
-  Time current_cost = assignment_cost(app, arch, current, model);
+  PolicyAssignment current = std::move(initial);
+  Time current_cost = eval->rebase(current).cost;
   PolicyAssignment best = current;
   Time best_cost = current_cost;
   int evaluations = 1;
@@ -169,27 +179,33 @@ OptimizeResult optimize_from(const Application& app, const Architecture& arch,
   // Move encoding for the tabu list: (family, process, a, b).
   enum MoveFamily { kRemap = 0, kPolicy = 1, kCheckpoint = 2 };
 
-  // A sampled neighborhood move awaiting evaluation.  Generation consumes
-  // the iteration's RNG serially; the WCSL evaluations are pure and run
-  // concurrently, so results do not depend on the thread count.
+  // A sampled neighborhood move awaiting evaluation: the one plan a move
+  // rewrites (never a whole PolicyAssignment copy).  Generation consumes
+  // the iteration's RNG serially; the incremental WCSL evaluations are
+  // pure and run concurrently, so results do not depend on the thread
+  // count.
   struct Candidate {
-    PolicyAssignment assignment;
+    ProcessId pid;
+    ProcessPlan plan;
     TabuList::Key key;
   };
   std::vector<Candidate> candidates;
   std::vector<Time> costs;
 
   for (int iter = 0; iter < options.iterations; ++iter) {
+    if (options.cancel &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      break;
+    }
     // --- phase 1: sample the neighborhood (serial, owns the RNG) ---------
     candidates.clear();
     for (int s = 0; s < options.neighborhood; ++s) {
-      PolicyAssignment candidate = current;
       TabuList::Key key{};
       const ProcessId pid{
           static_cast<std::int32_t>(rng.index(
               static_cast<std::size_t>(app.process_count())))};
       const Process& proc = app.process(pid);
-      ProcessPlan& plan = candidate.plan(pid);
+      ProcessPlan plan = current.plan(pid);
       const std::vector<NodeId> allowed = allowed_nodes(proc, arch);
 
       // Pick an applicable move family.
@@ -276,13 +292,14 @@ OptimizeResult optimize_from(const Application& app, const Architecture& arch,
         key = {kCheckpoint, pid.get(), copy, next};
       }
 
-      candidates.push_back(Candidate{std::move(candidate), key});
+      candidates.push_back(Candidate{pid, std::move(plan), key});
     }
 
     // --- phase 2: evaluate all sampled moves (parallel, pure) ------------
     costs.assign(candidates.size(), 0);
     parallel_for(pool, candidates.size(), threads, [&](std::size_t i) {
-      costs[i] = assignment_cost(app, arch, candidates[i].assignment, model);
+      costs[i] =
+          eval->evaluate_move(candidates[i].pid, candidates[i].plan).cost;
     });
     evaluations += static_cast<int>(candidates.size());
 
@@ -298,7 +315,8 @@ OptimizeResult optimize_from(const Application& app, const Architecture& arch,
     }
 
     if (!best_move) continue;  // no admissible move
-    current = best_move->assignment;
+    current.plan(best_move->pid) = best_move->plan;
+    eval->rebase(current);
     current_cost = best_move_cost;
     tabu.make_tabu(best_move->key, iter);
     if (current_cost < best_cost) {
@@ -313,6 +331,7 @@ OptimizeResult optimize_from(const Application& app, const Architecture& arch,
   result.wcsl = wcsl.makespan;
   result.schedulable = wcsl.meets_deadlines(app);
   result.evaluations = evaluations;
+  result.eval_stats = eval->stats().since(stats_before);
   return result;
 }
 

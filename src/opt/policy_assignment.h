@@ -10,16 +10,19 @@
 // sched/wcsl.h plus soft penalties for local-deadline violations.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "app/application.h"
 #include "arch/architecture.h"
 #include "fault/fault_model.h"
 #include "fault/policy.h"
+#include "opt/eval_stats.h"
 #include "util/time_types.h"
 
 namespace ftes {
 
+class EvalContext;
 class ThreadPool;
 
 /// Search space restriction, used to express the paper's comparison
@@ -51,6 +54,14 @@ struct OptimizeOptions {
   /// Mainly for tests, which need a multi-worker pool even on single-core
   /// machines (where the shared pool has no workers).
   ThreadPool* pool = nullptr;
+  /// Incremental evaluator to run against; nullptr = a private one.  Must
+  /// be built on the same application/architecture/fault model.  Sharing
+  /// one across stages (core/pipeline.h) reuses its workspaces and
+  /// aggregates its statistics (the search rebases it on its own start).
+  EvalContext* eval = nullptr;
+  /// Cooperative cancellation: checked once per tabu iteration; the search
+  /// returns its best-so-far when set.  nullptr = never cancelled.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct OptimizeResult {
@@ -58,6 +69,9 @@ struct OptimizeResult {
   Time wcsl = 0;
   bool schedulable = false;
   int evaluations = 0;
+  /// Evaluator counters spent by this run (cache reuse, full vs
+  /// incremental evaluations); see opt/eval_stats.h.
+  EvalStats eval_stats;
 };
 
 /// Greedy initial solution: processes in topological order, copy-0 mapping

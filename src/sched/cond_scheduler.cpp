@@ -8,6 +8,7 @@
 #include "fault/recovery.h"
 #include "graph/digraph.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace ftes {
 
@@ -52,15 +53,26 @@ class CondSim {
     if (static_cast<int>(scenarios.size()) > opts_.max_scenarios) {
       throw std::length_error("scenario tree exceeds max_scenarios");
     }
+    threads_ = resolve_threads(opts_.threads);
+    pool_ = opts_.pool ? opts_.pool : &ThreadPool::shared();
+
+    // Register every condition id a scenario can reveal, serially and in
+    // scenario order, so the id numbering matches the serial generator and
+    // the simulations below can run concurrently with a read-only registry.
+    for (const FaultScenario& sc : scenarios) {
+      register_scenario_conditions(sc);
+    }
 
     CondScheduleResult result;
-    // Fixpoint over frozen starts.
+    // Fixpoint over frozen starts.  Within one iteration the scenarios are
+    // independent (they read the same pins), so they simulate in parallel
+    // into scenario-ordered slots.
     for (int iter = 0; iter < opts_.max_fixpoint_iterations; ++iter) {
-      result.traces.clear();
+      result.traces.assign(scenarios.size(), ScenarioTrace{});
       bool moved = false;
-      for (const FaultScenario& sc : scenarios) {
-        result.traces.push_back(simulate(sc));
-      }
+      parallel_for(*pool_, scenarios.size(), threads_, [&](std::size_t i) {
+        result.traces[i] = simulate(scenarios[i]);
+      });
       // Raise pins to the observed maxima.
       for (const ScenarioTrace& tr : result.traces) {
         for (const ExecTrace& e : tr.execs) {
@@ -208,7 +220,7 @@ class CondSim {
     int seq = 0;         ///< deterministic tie-break
   };
 
-  ScenarioTrace simulate(const FaultScenario& scenario) {
+  ScenarioTrace simulate(const FaultScenario& scenario) const {
     ScenarioTrace trace;
     trace.scenario = scenario;
 
@@ -237,7 +249,9 @@ class CondSim {
         run.attempt_offsets.push_back(
             recovery_start_offset(ci.params, n, a));
       }
-      // Condition reveals, as derived in DESIGN.md / recovery.h.
+      // Condition reveals, as derived in DESIGN.md / recovery.h.  All ids
+      // were registered up front (run()), so the lookups are read-only and
+      // simulate() is safe to run concurrently across scenarios.
       if (run.survived) {
         const int last = std::min(run.faults + 1, r_cond);
         for (int j = 1; j <= last; ++j) {
@@ -245,12 +259,13 @@ class CondSim {
           const Time at = value
                               ? fault_occurrence_offset(ci.params, n, j)
                               : run.duration;
-          run.reveal_offsets.push_back(Reveal{cond_id(ci, j), value, at});
+          run.reveal_offsets.push_back(Reveal{cond_lookup(ci, j), value, at});
         }
       } else {
         for (int j = 1; j <= r_cond + 1; ++j) {
-          run.reveal_offsets.push_back(Reveal{
-              cond_id(ci, j), true, fault_occurrence_offset(ci.params, n, j)});
+          run.reveal_offsets.push_back(
+              Reveal{cond_lookup(ci, j), true,
+                     fault_occurrence_offset(ci.params, n, j)});
         }
       }
       // Dependency counters: one triple per (input msg, producer copy) or
@@ -505,14 +520,28 @@ class CondSim {
     return trace;
   }
 
-  [[nodiscard]] bool has_unemitted_frozen(const std::vector<bool>& emitted,
-                                          const std::vector<CopyRun>& runs) {
+  [[nodiscard]] bool has_unemitted_frozen(
+      const std::vector<bool>& emitted,
+      const std::vector<CopyRun>& runs) const {
     for (int mi = 0; mi < app_.message_count(); ++mi) {
       if (!is_frozen_msg(MessageId{mi})) continue;
       if (!emitted[static_cast<std::size_t>(mi)]) return true;
     }
     (void)runs;
     return false;
+  }
+
+  /// Registers, in deterministic copy / fault-index order, every condition
+  /// id the given scenario reveals (the same sequence a lazy registration
+  /// inside simulate() would produce).
+  void register_scenario_conditions(const FaultScenario& scenario) {
+    for (const CopyInfo& ci : copies_) {
+      const int faults = scenario.faults_on(ci.ref);
+      const int r_cond = ci.checkpoints >= 1 ? ci.recoveries : 0;
+      const bool survived = faults <= r_cond;
+      const int last = survived ? std::min(faults + 1, r_cond) : r_cond + 1;
+      for (int j = 1; j <= last; ++j) cond_id(ci, j);
+    }
   }
 
   int cond_id(const CopyInfo& ci, int fault_index) {
@@ -526,7 +555,61 @@ class CondSim {
     return id;
   }
 
+  /// Read-only id lookup used during (possibly concurrent) simulation.
+  [[nodiscard]] int cond_lookup(const CopyInfo& ci, int fault_index) const {
+    const int id = registry_.find(ci.ref, fault_index);
+    assert(id >= 0);  // registered by register_scenario_conditions
+    return id;
+  }
+
   // --------------------------------------------------------------- tables
+  /// One prospective table activation extracted from one scenario trace.
+  struct TableRecord {
+    int node = -1;  ///< -1 = bus row
+    std::string row;
+    std::string label;
+    Time start = 0;
+    Guard guard;
+  };
+
+  [[nodiscard]] std::vector<TableRecord> trace_records(
+      const ScenarioTrace& tr) const {
+    auto guard_at = [&](Time t) {
+      Guard g;
+      for (const Reveal& r : tr.reveals) {
+        if (r.at > t) break;
+        g.add(Literal{r.cond_id, r.value});
+      }
+      return g;
+    };
+    std::vector<TableRecord> records;
+    for (const ExecTrace& e : tr.execs) {
+      const CopyInfo& ci = copies_[static_cast<std::size_t>(
+          copy_index_.at({e.copy.process.get(), e.copy.copy}))];
+      for (std::size_t a = 0; a < e.attempt_starts.size(); ++a) {
+        const Time t = e.attempt_starts[a];
+        records.push_back(TableRecord{ci.node.get(), ci.name,
+                                      ci.name + "/" + std::to_string(a + 1),
+                                      t, guard_at(t)});
+      }
+    }
+    for (const TxTrace& tx : tr.txs) {
+      if (tx.is_condition) {
+        records.push_back(TableRecord{-1, registry_.label(tx.cond_id), "",
+                                      tx.start, guard_at(tx.ready)});
+      } else {
+        const Message& m = app_.message(tx.msg);
+        std::string label = m.name;
+        if (tx.src_copy >= 0 && pa_.plan(m.src).copy_count() > 1) {
+          label += "(" + std::to_string(tx.src_copy + 1) + ")";
+        }
+        records.push_back(
+            TableRecord{-1, m.name, label, tx.start, guard_at(tx.ready)});
+      }
+    }
+    return records;
+  }
+
   void build_tables(CondScheduleResult& result) {
     ScheduleTables& tables = result.tables;
     tables.node_rows.assign(static_cast<std::size_t>(arch_.node_count()),
@@ -538,14 +621,6 @@ class CondSim {
     // key: (node or -1 for bus, row, label, start)
     std::map<std::tuple<int, std::string, std::string, Time>, Agg> agg;
 
-    auto guard_at = [&](const ScenarioTrace& tr, Time t) {
-      Guard g;
-      for (const Reveal& r : tr.reveals) {
-        if (r.at > t) break;
-        g.add(Literal{r.cond_id, r.value});
-      }
-      return g;
-    };
     auto intersect = [](const Guard& a, const Guard& b) {
       Guard g;
       for (const Literal& lit : a.literals()) {
@@ -553,37 +628,20 @@ class CondSim {
       }
       return g;
     };
-    auto record = [&](int node, const std::string& row,
-                      const std::string& label, Time start,
-                      const Guard& guard) {
-      auto key = std::make_tuple(node, row, label, start);
-      auto [it, inserted] = agg.emplace(key, Agg{guard, false});
-      if (!inserted) it->second.guard = intersect(it->second.guard, guard);
-    };
 
-    for (const ScenarioTrace& tr : result.traces) {
-      for (const ExecTrace& e : tr.execs) {
-        const CopyInfo& ci = copies_[static_cast<std::size_t>(
-            copy_index_.at({e.copy.process.get(), e.copy.copy}))];
-        for (std::size_t a = 0; a < e.attempt_starts.size(); ++a) {
-          const Time t = e.attempt_starts[a];
-          record(ci.node.get(), ci.name,
-                 ci.name + "/" + std::to_string(a + 1), t, guard_at(tr, t));
-        }
-      }
-      for (const TxTrace& tx : tr.txs) {
-        if (tx.is_condition) {
-          record(-1, registry_.label(tx.cond_id), "", tx.start,
-                 guard_at(tr, tx.ready));
-        } else {
-          const Message& m = app_.message(tx.msg);
-          std::string label = m.name;
-          if (tx.src_copy >= 0 &&
-              pa_.plan(m.src).copy_count() > 1) {
-            label += "(" + std::to_string(tx.src_copy + 1) + ")";
-          }
-          record(-1, m.name, label, tx.start, guard_at(tr, tx.ready));
-        }
+    // Per-scenario record extraction is independent (pure reads of the
+    // traces); the guard-intersecting fold below stays serial in scenario
+    // order.
+    std::vector<std::vector<TableRecord>> per_trace(result.traces.size());
+    parallel_for(*pool_, result.traces.size(), threads_, [&](std::size_t i) {
+      per_trace[i] = trace_records(result.traces[i]);
+    });
+
+    for (const std::vector<TableRecord>& records : per_trace) {
+      for (const TableRecord& r : records) {
+        auto key = std::make_tuple(r.node, r.row, r.label, r.start);
+        auto [it, inserted] = agg.emplace(key, Agg{r.guard, false});
+        if (!inserted) it->second.guard = intersect(it->second.guard, r.guard);
       }
     }
 
@@ -614,6 +672,8 @@ class CondSim {
   const PolicyAssignment& pa_;
   const FaultModel& fm_;
   const CondScheduleOptions& opts_;
+  int threads_ = 1;
+  ThreadPool* pool_ = nullptr;
 
   std::vector<CopyInfo> copies_;
   std::map<std::pair<std::int32_t, int>, int> copy_index_;

@@ -40,6 +40,8 @@
 
 namespace ftes {
 
+class ThreadPool;
+
 /// Execution of one copy within one scenario.
 struct ExecTrace {
   CopyRef copy;
@@ -91,6 +93,13 @@ struct CondScheduleOptions {
   /// (including copy deaths) instantly.  Used by ablations and by tests
   /// comparing against the WCSL DP, which ignores broadcast contention.
   bool schedule_condition_broadcasts = true;
+  /// Concurrent per-scenario simulations / table-record extractions
+  /// (1 = serial; 0 = all hardware threads).  Scenarios are independent
+  /// within a fixpoint iteration and results are collected in scenario
+  /// order, so the output is identical for every thread count.
+  int threads = 1;
+  /// Pool supplying the helper threads; nullptr = ThreadPool::shared().
+  ThreadPool* pool = nullptr;
 };
 
 struct CondScheduleResult {

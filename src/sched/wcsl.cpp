@@ -1,7 +1,7 @@
 #include "sched/wcsl.h"
 
 #include <algorithm>
-#include <map>
+#include <vector>
 
 #include "fault/recovery.h"
 #include "graph/digraph.h"
@@ -20,44 +20,55 @@ bool WcslResult::meets_deadlines(const Application& app) const {
   return true;
 }
 
-namespace {
-
-/// The resource-augmented schedule DAG shared by both analyses: vertices
-/// are copies (0..copy_count) then transmissions; edges are data
-/// precedences plus per-node / bus static orders; weight[v][f] is the
-/// execution time of v when f faults strike it (capped at its recoveries).
-struct Augmented {
-  Digraph g;
-  int copy_count = 0;
-  int msg_count = 0;
-  std::vector<std::vector<Time>> weight;
-  std::vector<Time> release;
-
-  [[nodiscard]] int msg_vertex(int m) const { return copy_count + m; }
-};
-
-Augmented build_augmented(const Application& app, const Architecture& arch,
-                          const PolicyAssignment& assignment, int k,
-                          const ListSchedule& schedule) {
-  Augmented a;
+WcslDag build_wcsl_dag(const Application& app, const Architecture& arch,
+                       const PolicyAssignment& assignment, int k,
+                       const ListSchedule& schedule) {
+  WcslDag a;
   a.copy_count = static_cast<int>(schedule.copies.size());
   a.msg_count = static_cast<int>(schedule.messages.size());
   const int total = a.copy_count + a.msg_count;
   a.g = Digraph(total);
 
-  std::map<std::pair<std::int32_t, int>, int> copy_vertex;
+  // Flat (process, copy) -> vertex lookup via per-process prefix offsets;
+  // this builder runs once per objective evaluation, so no std::map here.
+  std::vector<int> first_copy(
+      static_cast<std::size_t>(app.process_count()) + 1, 0);
+  for (int p = 0; p < app.process_count(); ++p) {
+    first_copy[static_cast<std::size_t>(p) + 1] =
+        first_copy[static_cast<std::size_t>(p)] +
+        assignment.plan(ProcessId{p}).copy_count();
+  }
+  std::vector<int> copy_vertex(static_cast<std::size_t>(a.copy_count), -1);
   for (int i = 0; i < a.copy_count; ++i) {
     const ScheduledCopy& sc = schedule.copies[static_cast<std::size_t>(i)];
-    copy_vertex[{sc.ref.process.get(), sc.ref.copy}] = i;
+    copy_vertex[static_cast<std::size_t>(
+        first_copy[static_cast<std::size_t>(sc.ref.process.get())] +
+        sc.ref.copy)] = i;
   }
+  const auto cv = [&](std::int32_t process, int copy) {
+    return copy_vertex[static_cast<std::size_t>(
+        first_copy[static_cast<std::size_t>(process)] + copy)];
+  };
 
   // Data edges.  Cross-node messages go through their transmission vertex;
-  // co-located flow is a direct edge.
-  std::map<std::pair<std::int32_t, int>, int> tx_of;  // (msg, src copy) -> m
+  // co-located flow is a direct edge.  Same flat scheme for the
+  // (message, source copy) -> transmission lookup.
+  std::vector<int> first_tx(static_cast<std::size_t>(app.message_count()) + 1,
+                            0);
+  for (int mi = 0; mi < app.message_count(); ++mi) {
+    first_tx[static_cast<std::size_t>(mi) + 1] =
+        first_tx[static_cast<std::size_t>(mi)] +
+        assignment.plan(app.message(MessageId{mi}).src).copy_count();
+  }
+  std::vector<int> tx_of(
+      static_cast<std::size_t>(first_tx[static_cast<std::size_t>(
+          app.message_count())]),
+      -1);
   for (int m = 0; m < a.msg_count; ++m) {
     const ScheduledMessage& sm = schedule.messages[static_cast<std::size_t>(m)];
-    tx_of[{sm.msg.get(), sm.src_copy}] = m;
-    a.g.add_edge(copy_vertex.at({app.message(sm.msg).src.get(), sm.src_copy}),
+    tx_of[static_cast<std::size_t>(
+        first_tx[static_cast<std::size_t>(sm.msg.get())] + sm.src_copy)] = m;
+    a.g.add_edge(cv(app.message(sm.msg).src.get(), sm.src_copy),
                  a.msg_vertex(m));
   }
   for (int mi = 0; mi < app.message_count(); ++mi) {
@@ -65,13 +76,14 @@ Augmented build_augmented(const Application& app, const Architecture& arch,
     const ProcessPlan& sp = assignment.plan(msg.src);
     const ProcessPlan& dp = assignment.plan(msg.dst);
     for (int sj = 0; sj < sp.copy_count(); ++sj) {
-      auto tx = tx_of.find({mi, sj});
+      const int tx = tx_of[static_cast<std::size_t>(
+          first_tx[static_cast<std::size_t>(mi)] + sj)];
       for (int dj = 0; dj < dp.copy_count(); ++dj) {
-        const int dst_v = copy_vertex.at({msg.dst.get(), dj});
-        if (tx != tx_of.end()) {
-          a.g.add_edge(a.msg_vertex(tx->second), dst_v);
+        const int dst_v = cv(msg.dst.get(), dj);
+        if (tx >= 0) {
+          a.g.add_edge(a.msg_vertex(tx), dst_v);
         } else {
-          a.g.add_edge(copy_vertex.at({msg.src.get(), sj}), dst_v);
+          a.g.add_edge(cv(msg.src.get(), sj), dst_v);
         }
       }
     }
@@ -123,8 +135,39 @@ Augmented build_augmented(const Application& app, const Architecture& arch,
   return a;
 }
 
+Time wcsl_dp_row(const WcslDag& dag, int v,
+                 const std::vector<std::vector<Time>>& L, int k,
+                 std::vector<Time>& row) {
+  // best_in[b] = max over predecessors p of L(p, b); nondecreasing in b by
+  // construction of L.  Faults spent on a transmission never help the
+  // adversary (constant weight), so the DP naturally assigns f = 0 there.
+  std::vector<Time> best_in(static_cast<std::size_t>(k) + 1, 0);
+  for (int p : dag.g.predecessors(v)) {
+    for (int b = 0; b <= k; ++b) {
+      best_in[static_cast<std::size_t>(b)] = std::max(
+          best_in[static_cast<std::size_t>(b)],
+          L[static_cast<std::size_t>(p)][static_cast<std::size_t>(b)]);
+    }
+  }
+  row.assign(static_cast<std::size_t>(k) + 1, 0);
+  for (int b = 0; b <= k; ++b) {
+    Time best = 0;
+    for (int f = 0; f <= b; ++f) {
+      const Time start =
+          std::max(dag.release[static_cast<std::size_t>(v)],
+                   best_in[static_cast<std::size_t>(b - f)]);
+      best = std::max(best, start + dag.weight[static_cast<std::size_t>(v)]
+                                              [static_cast<std::size_t>(f)]);
+    }
+    row[static_cast<std::size_t>(b)] = best;
+  }
+  return best_in[static_cast<std::size_t>(k)];
+}
+
+namespace {
+
 void fill_result_vertex(WcslResult& result, const ListSchedule& schedule,
-                        const Augmented& a, int v, Time worst_start,
+                        const WcslDag& a, int v, Time worst_start,
                         Time worst_finish) {
   result.makespan = std::max(result.makespan, worst_finish);
   if (v < a.copy_count) {
@@ -140,7 +183,7 @@ void fill_result_vertex(WcslResult& result, const ListSchedule& schedule,
   }
 }
 
-WcslResult make_result(const Application& app, const Augmented& a) {
+WcslResult make_result(const Application& app, const WcslDag& a) {
   WcslResult result;
   result.process_finish.assign(static_cast<std::size_t>(app.process_count()),
                                0);
@@ -159,43 +202,21 @@ WcslResult worst_case_schedule_length(const Application& app,
                                       const ListSchedule& schedule) {
   model.validate();
   const int k = model.k;
-  const Augmented a = build_augmented(app, arch, assignment, k, schedule);
+  const WcslDag a = build_wcsl_dag(app, arch, assignment, k, schedule);
   const int total = a.g.vertex_count();
 
-  // Budgeted longest-path DP in topological order.
-  // best_in[v][b] = max over predecessors p of L(p, b); L(v,b) computed from
-  // it.  Faults spent on a transmission never help the adversary (constant
-  // weight), so the DP naturally assigns f = 0 there.
-  std::vector<std::vector<Time>> L(
-      static_cast<std::size_t>(total),
-      std::vector<Time>(static_cast<std::size_t>(k) + 1, 0));
+  // Budgeted longest-path DP in topological order (one wcsl_dp_row call per
+  // vertex).
+  std::vector<std::vector<Time>> L(static_cast<std::size_t>(total));
   WcslResult result = make_result(app, a);
 
   for (int v : a.g.topological_order()) {
-    std::vector<Time> best_in(static_cast<std::size_t>(k) + 1, 0);
-    for (int p : a.g.predecessors(v)) {
-      for (int b = 0; b <= k; ++b) {
-        best_in[static_cast<std::size_t>(b)] = std::max(
-            best_in[static_cast<std::size_t>(b)],
-            L[static_cast<std::size_t>(p)][static_cast<std::size_t>(b)]);
-      }
-    }
-    // best_in is nondecreasing in b by construction of L.
-    for (int b = 0; b <= k; ++b) {
-      Time best = 0;
-      for (int f = 0; f <= b; ++f) {
-        const Time start =
-            std::max(a.release[static_cast<std::size_t>(v)],
-                     best_in[static_cast<std::size_t>(b - f)]);
-        best = std::max(best, start + a.weight[static_cast<std::size_t>(v)]
-                                              [static_cast<std::size_t>(f)]);
-      }
-      L[static_cast<std::size_t>(v)][static_cast<std::size_t>(b)] = best;
-    }
+    const Time in_k =
+        wcsl_dp_row(a, v, L, k, L[static_cast<std::size_t>(v)]);
     const Time worst =
         L[static_cast<std::size_t>(v)][static_cast<std::size_t>(k)];
-    const Time worst_start = std::max(a.release[static_cast<std::size_t>(v)],
-                                      best_in[static_cast<std::size_t>(k)]);
+    const Time worst_start =
+        std::max(a.release[static_cast<std::size_t>(v)], in_k);
     fill_result_vertex(result, schedule, a, v, worst_start, worst);
   }
   return result;
@@ -208,7 +229,7 @@ WcslResult worst_case_transparent(const Application& app,
                                   const ListSchedule& schedule) {
   model.validate();
   const int k = model.k;
-  const Augmented a = build_augmented(app, arch, assignment, k, schedule);
+  const WcslDag a = build_wcsl_dag(app, arch, assignment, k, schedule);
   const int total = a.g.vertex_count();
 
   // Transparent (root-schedule) analysis: the start of every vertex must

@@ -35,6 +35,7 @@
 #include "arch/architecture.h"
 #include "fault/fault_model.h"
 #include "fault/policy.h"
+#include "graph/digraph.h"
 #include "sched/list_scheduler.h"
 
 namespace ftes {
@@ -57,6 +58,37 @@ struct WcslResult {
 
   [[nodiscard]] bool meets_deadlines(const Application& app) const;
 };
+
+/// The resource-augmented schedule DAG shared by the WCSL analyses below
+/// and the incremental evaluator (opt/eval_context.h): vertices are copies
+/// (0..copy_count) followed by bus transmissions; edges are data
+/// precedences plus the per-node / bus static orders of the fault-free
+/// schedule; weight[v][f] is the execution time of v when f faults strike
+/// it (capped at its recoveries).
+struct WcslDag {
+  Digraph g;
+  int copy_count = 0;
+  int msg_count = 0;
+  std::vector<std::vector<Time>> weight;
+  std::vector<Time> release;
+
+  [[nodiscard]] int msg_vertex(int m) const { return copy_count + m; }
+};
+
+/// Builds the augmented DAG for one (assignment, schedule) pair.
+[[nodiscard]] WcslDag build_wcsl_dag(const Application& app,
+                                     const Architecture& arch,
+                                     const PolicyAssignment& assignment, int k,
+                                     const ListSchedule& schedule);
+
+/// One row of the budgeted longest-path DP: fills `row` with L(v, b) for
+/// b = 0..k given the already-computed rows of v's predecessors in `L`
+/// (aliasing row == L[v] is fine, v never precedes itself).  Returns the
+/// incoming bound max_p L(p, k), i.e. the worst-case start of v before its
+/// release is applied.
+Time wcsl_dp_row(const WcslDag& dag, int v,
+                 const std::vector<std::vector<Time>>& L, int k,
+                 std::vector<Time>& row);
 
 /// Budgeted longest-path analysis over an existing fault-free schedule.
 [[nodiscard]] WcslResult worst_case_schedule_length(

@@ -1,0 +1,48 @@
+// Tiny shared JSON-writing helpers for the hand-rolled emitters
+// (core/pipeline.cpp, batch/batch_runner.cpp, sched/table_export.cpp).
+// Strings are escaped per RFC 8259: quote, backslash, and all control
+// characters below 0x20 (named escapes for the common ones, \u00XX for
+// the rest) — task names and exception messages must never produce
+// output a strict parser rejects.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace ftes {
+
+inline void json_escape(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\b': out << "\\b"; break;
+      case '\f': out << "\\f"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+/// Fixed 6-decimal rendering for wall-clock seconds (stable field shape;
+/// no scientific notation for tiny durations).
+inline void json_seconds(std::ostringstream& out, double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", seconds);
+  out << buf;
+}
+
+}  // namespace ftes

@@ -114,6 +114,36 @@ TEST(BatchRunner, BadTaskFailsAloneAndIsReported) {
   EXPECT_NE(text.find("1 failed"), std::string::npos);
 }
 
+TEST(BatchRunner, JsonReportCarriesTasksAndStageMetrics) {
+  BatchOptions options;
+  options.synthesis.optimize.iterations = 20;
+  options.synthesis.build_schedule_tables = false;
+  BatchReport report = run_batch(make_tasks(2), options);
+  ASSERT_EQ(report.results.size(), 2u);
+  ASSERT_EQ(report.results[0].stages.size(), 3u);
+  EXPECT_EQ(report.results[0].stages[0].stage, "policy_assignment");
+  EXPECT_GT(report.results[0].stages[0].cache_hits, 0);
+
+  const std::string json = format_batch_report_json(report);
+  EXPECT_NE(json.find("\"tasks\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"task0\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": "), std::string::npos);
+  EXPECT_NE(json.find("\"schedulable\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"wcsl\": "), std::string::npos);
+  EXPECT_NE(json.find("\"evaluations\": "), std::string::npos);
+  EXPECT_NE(json.find("\"stage\": \"policy_assignment\""), std::string::npos);
+  EXPECT_NE(json.find("\"task_count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"failed_count\": 0"), std::string::npos);
+
+  // Failures surface as "ok": false with an error string.
+  report.results[1].ok = false;
+  report.results[1].error = R"(bad "quote")";
+  const std::string with_error = format_batch_report_json(report);
+  EXPECT_NE(with_error.find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(with_error.find("\"error\": \"bad \\\"quote\\\"\""),
+            std::string::npos);
+}
+
 TEST(BatchRunner, LoadBatchDirRejectsMissingDirectory) {
   EXPECT_THROW((void)load_batch_dir("/nonexistent/ftes/batch/dir"),
                std::runtime_error);

@@ -1,0 +1,215 @@
+// Tests of the incremental evaluation context (opt/eval_context.h): the
+// dirty-successor DP reuse must be bit-identical to a from-scratch
+// evaluation for every move family, thread-safe under the parallel
+// neighborhood evaluation, and must actually reuse cached rows.
+#include "opt/eval_context.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/taskgen.h"
+#include "opt/policy_assignment.h"
+#include "sched/list_scheduler.h"
+#include "sched/wcsl.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace ftes {
+namespace {
+
+struct Instance {
+  Application app;
+  Architecture arch;
+};
+
+Instance make_instance(int processes, int nodes, std::uint64_t seed) {
+  TaskGenParams params;
+  params.process_count = processes;
+  params.node_count = nodes;
+  Rng rng(seed);
+  return Instance{generate_application(params, rng),
+                  generate_architecture(params)};
+}
+
+/// A randomly mutated plan for `pid`: checkpoint-count change, remap of a
+/// copy, or a policy-kind switch (the tabu search's three move families).
+ProcessPlan random_move(const Instance& inst, const PolicyAssignment& base,
+                        ProcessId pid, const FaultModel& model, Rng& rng) {
+  ProcessPlan plan = base.plan(pid);
+  const Process& proc = inst.app.process(pid);
+  std::vector<NodeId> allowed;
+  for (NodeId n : inst.arch.node_ids()) {
+    if (proc.can_run_on(n)) allowed.push_back(n);
+  }
+  switch (rng.index(3)) {
+    case 0: {  // checkpoint count
+      CopyPlan& cp = plan.copies[rng.index(plan.copies.size())];
+      if (cp.checkpoints >= 1) {
+        cp.checkpoints = 1 + static_cast<int>(rng.uniform_int(0, 7));
+        break;
+      }
+      [[fallthrough]];
+    }
+    case 1: {  // remap one copy
+      CopyPlan& cp = plan.copies[rng.index(plan.copies.size())];
+      cp.node = allowed[rng.index(allowed.size())];
+      break;
+    }
+    default: {  // policy switch (changes the copy structure)
+      if (rng.chance(0.5)) {
+        plan = make_replication_plan(model.k);
+        for (CopyPlan& cp : plan.copies) {
+          cp.node = allowed[rng.index(allowed.size())];
+        }
+      } else {
+        plan = make_checkpointing_plan(model.k,
+                                       1 + static_cast<int>(rng.uniform_int(0, 5)));
+        plan.copies[0].node = allowed[rng.index(allowed.size())];
+      }
+      break;
+    }
+  }
+  return plan;
+}
+
+TEST(EvalContext, IncrementalMatchesFullForRandomMoves) {
+  const Instance inst = make_instance(18, 3, 77);
+  const FaultModel model{2};
+  PolicyAssignment base = greedy_initial(inst.app, inst.arch, model,
+                                         PolicySpace::kCheckpointingOnly, 8);
+  EvalContext eval(inst.app, inst.arch, model);
+  eval.rebase(base);
+
+  Rng rng(4242);
+  for (int move = 0; move < 150; ++move) {
+    const ProcessId pid{static_cast<std::int32_t>(
+        rng.index(static_cast<std::size_t>(inst.app.process_count())))};
+    const ProcessPlan plan = random_move(inst, base, pid, model, rng);
+
+    PolicyAssignment candidate = base;
+    candidate.plan(pid) = plan;
+    const WcslResult full =
+        evaluate_wcsl(inst.app, inst.arch, candidate, model);
+    const Time full_cost =
+        assignment_cost(inst.app, inst.arch, candidate, model);
+
+    const EvalContext::Outcome incremental = eval.evaluate_move(pid, plan);
+    ASSERT_EQ(incremental.makespan, full.makespan) << "move " << move;
+    ASSERT_EQ(incremental.cost, full_cost) << "move " << move;
+
+    // Occasionally accept the move so later diffs run against fresh bases.
+    if (move % 17 == 0) {
+      base = std::move(candidate);
+      eval.rebase(base);
+    }
+  }
+}
+
+TEST(EvalContext, RebaseOutcomeMatchesFullEvaluation) {
+  const Instance inst = make_instance(14, 2, 5);
+  const FaultModel model{3};
+  const PolicyAssignment base = greedy_initial(
+      inst.app, inst.arch, model, PolicySpace::kCheckpointingOnly, 8);
+  EvalContext eval(inst.app, inst.arch, model);
+  const EvalContext::Outcome out = eval.rebase(base);
+  EXPECT_EQ(out.makespan,
+            evaluate_wcsl(inst.app, inst.arch, base, model).makespan);
+  EXPECT_EQ(out.cost, assignment_cost(inst.app, inst.arch, base, model));
+}
+
+TEST(EvalContext, ReusesCachedRowsForLocalizedMoves) {
+  const Instance inst = make_instance(30, 3, 9);
+  const FaultModel model{3};
+  PolicyAssignment base = greedy_initial(inst.app, inst.arch, model,
+                                         PolicySpace::kCheckpointingOnly, 8);
+  EvalContext eval(inst.app, inst.arch, model);
+  eval.rebase(base);
+
+  // A checkpoint change on the last process in topological order leaves
+  // most of the DAG untouched.
+  const ProcessId pid = inst.app.topological_order().back();
+  ProcessPlan plan = base.plan(pid);
+  plan.copies[0].checkpoints = plan.copies[0].checkpoints == 1 ? 2 : 1;
+  (void)eval.evaluate_move(pid, plan);
+
+  const EvalStats stats = eval.stats();
+  EXPECT_EQ(stats.incremental_evals, 1);
+  EXPECT_GT(stats.dp_vertices_total, 0);
+  EXPECT_GT(stats.dp_vertices_reused, stats.dp_vertices_total / 2)
+      << "a sink-move should reuse most cached DP rows";
+}
+
+TEST(EvalContext, FaultFreeMakespanMatchesListSchedule) {
+  const Instance inst = make_instance(16, 3, 21);
+  const FaultModel model{0};
+  PolicyAssignment base = strip_fault_tolerance(
+      inst.app, greedy_initial(inst.app, inst.arch, FaultModel{1},
+                               PolicySpace::kReexecutionOnly, 4));
+  EvalContext eval(inst.app, inst.arch, model);
+  eval.rebase_fault_free(base);
+
+  Rng rng(3);
+  for (int move = 0; move < 40; ++move) {
+    const ProcessId pid{static_cast<std::int32_t>(
+        rng.index(static_cast<std::size_t>(inst.app.process_count())))};
+    const Process& proc = inst.app.process(pid);
+    std::vector<NodeId> allowed;
+    for (NodeId n : inst.arch.node_ids()) {
+      if (proc.can_run_on(n)) allowed.push_back(n);
+    }
+    ProcessPlan plan = base.plan(pid);
+    plan.copies[0].node = allowed[rng.index(allowed.size())];
+
+    PolicyAssignment candidate = base;
+    candidate.plan(pid) = plan;
+    EXPECT_EQ(eval.fault_free_makespan(pid, plan),
+              list_schedule(inst.app, inst.arch, candidate).makespan);
+  }
+}
+
+TEST(EvalContext, ConcurrentMoveEvaluationsMatchSerial) {
+  const Instance inst = make_instance(20, 3, 55);
+  const FaultModel model{2};
+  PolicyAssignment base = greedy_initial(inst.app, inst.arch, model,
+                                         PolicySpace::kCheckpointingOnly, 8);
+  EvalContext eval(inst.app, inst.arch, model);
+  eval.rebase(base);
+
+  // One fixed move per process: flip copy 0's checkpoint count.
+  std::vector<ProcessPlan> moves;
+  for (int i = 0; i < inst.app.process_count(); ++i) {
+    ProcessPlan plan = base.plan(ProcessId{i});
+    plan.copies[0].checkpoints = plan.copies[0].checkpoints == 1 ? 3 : 1;
+    moves.push_back(std::move(plan));
+  }
+
+  std::vector<Time> serial(moves.size(), 0);
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    serial[i] = eval.evaluate_move(ProcessId{static_cast<std::int32_t>(i)},
+                                   moves[i])
+                    .cost;
+  }
+
+  ThreadPool pool(3);  // real helpers even on single-core hosts
+  std::vector<Time> parallel(moves.size(), 0);
+  parallel_for(pool, moves.size(), 4, [&](std::size_t i) {
+    parallel[i] = eval.evaluate_move(ProcessId{static_cast<std::int32_t>(i)},
+                                     moves[i])
+                      .cost;
+  });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(EvalContext, EvaluateMoveWithoutRebaseThrows) {
+  const Instance inst = make_instance(6, 2, 1);
+  const FaultModel model{1};
+  EvalContext eval(inst.app, inst.arch, model);
+  const PolicyAssignment base = greedy_initial(
+      inst.app, inst.arch, model, PolicySpace::kReexecutionOnly, 4);
+  EXPECT_THROW((void)eval.evaluate_move(ProcessId{0}, base.plan(ProcessId{0})),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace ftes

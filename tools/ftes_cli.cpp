@@ -12,10 +12,14 @@
 //                       (default 1; 0 = all hardware threads)
 //   --batch <dir>       synthesize every *.ftes file under <dir>; reports
 //                       the analytic WCSL only (tables are never built),
-//                       and the per-problem output flags below are rejected
+//                       and the per-problem output flags below (except
+//                       --json) are rejected
 //   --no-tables         skip schedule-table generation (large designs)
 //   --root              emit a root schedule (fully transparent recovery)
-//   --json              dump schedule tables as JSON
+//   --json              single mode: dump schedule tables as JSON;
+//                       batch mode: emit the machine-readable batch report
+//                       (per-task seed, schedulable flag, WCSL, evaluations,
+//                       wall-clock, per-stage metrics; see docs/CLI.md)
 //   --c-source          dump schedule tables as C source
 //   --dot               dump the FT-CPG in GraphViz DOT
 //   --gantt             render the fault-free and a worst-case Gantt chart
@@ -29,6 +33,7 @@
 #include <iostream>
 
 #include "batch/batch_runner.h"
+#include "core/pipeline.h"
 #include "core/synthesis.h"
 #include "ftcpg/builder.h"
 #include "io/app_parser.h"
@@ -62,7 +67,7 @@ int usage() {
                "[--threads n] [--no-tables] [--root] [--json] [--c-source] "
                "[--dot] [--gantt]\n"
                "       ftes_cli --batch <dir> [--seed n] [--iterations n] "
-               "[--threads n]\n");
+               "[--threads n] [--json]\n");
   return 1;
 }
 
@@ -101,10 +106,11 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
 }
 
 int run_batch_mode(const CliOptions& opts) {
-  // Per-problem output flags have nowhere to go in the batch report.
-  if (opts.root || opts.json || opts.c_source || opts.dot || opts.gantt) {
+  // Per-problem output flags have nowhere to go in the batch report
+  // (--json switches the report itself to JSON instead).
+  if (opts.root || opts.c_source || opts.dot || opts.gantt) {
     std::fprintf(stderr,
-                 "ftes_cli: --root/--json/--c-source/--dot/--gantt are not "
+                 "ftes_cli: --root/--c-source/--dot/--gantt are not "
                  "available in --batch mode\n");
     return 1;
   }
@@ -132,9 +138,13 @@ int run_batch_mode(const CliOptions& opts) {
   batch.synthesis.build_schedule_tables = false;
 
   const BatchReport report = run_batch(tasks, batch);
-  std::printf("ftes batch: %zu problems, %d thread(s), %.2fs\n%s",
-              tasks.size(), resolve_threads(opts.threads), report.seconds,
-              format_batch_report(report).c_str());
+  if (opts.json) {
+    std::printf("%s", format_batch_report_json(report).c_str());
+  } else {
+    std::printf("ftes batch: %zu problems, %d thread(s), %.2fs\n%s",
+                tasks.size(), resolve_threads(opts.threads), report.seconds,
+                format_batch_report(report).c_str());
+  }
   return report.failed_count == 0 ? 0 : 2;
 }
 
@@ -169,8 +179,10 @@ int main(int argc, char** argv) {
   synth.optimize.threads = opts.threads;
   synth.build_schedule_tables = opts.tables;
 
-  const SynthesisResult result =
-      synthesize(problem.app, problem.arch, synth);
+  // Drive the stage pipeline directly so per-stage metrics can be shown.
+  SynthesisContext ctx(problem.app, problem.arch, synth);
+  Pipeline pipeline = Pipeline::default_pipeline();
+  const SynthesisResult result = pipeline.run(ctx);
 
   std::printf("ftes: %d processes, %d messages, %d nodes, k = %d\n",
               problem.app.process_count(), problem.app.message_count(),
@@ -181,6 +193,24 @@ int main(int argc, char** argv) {
               static_cast<long long>(result.wcsl.makespan),
               static_cast<long long>(problem.app.deadline()),
               result.schedulable ? "schedulable" : "NOT schedulable");
+  // No wall-clock here: single-mode stdout stays bit-identical across
+  // --threads values (CI diffs it); timings live in the JSON/batch reports.
+  std::printf("Stages:");
+  for (const StageMetrics& m : pipeline.metrics()) {
+    if (m.skipped) {
+      std::printf("  %s skipped;", m.stage.c_str());
+      continue;
+    }
+    const long long rows = m.cache_hits + m.cache_misses;
+    std::printf("  %s %lld evals", m.stage.c_str(), m.evaluations);
+    if (rows > 0) {
+      std::printf(" (%.1f%% DP rows cached)",
+                  100.0 * static_cast<double>(m.cache_hits) /
+                      static_cast<double>(rows));
+    }
+    std::printf(";");
+  }
+  std::printf("\n");
 
   if (result.schedule) {
     const ExecutionReport report = check_all_scenarios(
