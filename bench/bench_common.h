@@ -7,6 +7,7 @@
 #include <cstring>
 #include <vector>
 
+#include "bench_report.h"
 #include "gen/taskgen.h"
 #include "opt/policy_assignment.h"
 #include "util/stopwatch.h"
@@ -46,12 +47,15 @@ inline OptimizeOptions bench_options(std::uint64_t seed) {
 }
 
 /// Command line shared by the sweep benches:
-///   <bench> [seeds_per_size] [--threads n]
+///   <bench> [seeds_per_size] [--threads n] [--bench-json <file>]
 /// Threads parallelize across instances (the per-instance optimizers stay
 /// serial so per-seed results are identical for every thread count).
+/// --bench-json additionally writes a machine-readable BenchReport
+/// (bench_report.h) to the given path.
 struct SweepConfig {
   int seeds_per_size = 5;
   int threads = 1;
+  const char* bench_json = nullptr;
 };
 
 inline SweepConfig parse_sweep_args(int argc, char** argv) {
@@ -63,10 +67,18 @@ inline SweepConfig parse_sweep_args(int argc, char** argv) {
         std::exit(1);
       }
       cfg.threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--bench-json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --bench-json needs a path\n", argv[0]);
+        std::exit(1);
+      }
+      cfg.bench_json = argv[++i];
     } else if (argv[i][0] >= '0' && argv[i][0] <= '9') {
       cfg.seeds_per_size = std::atoi(argv[i]);
     } else {
-      std::fprintf(stderr, "usage: %s [seeds_per_size] [--threads n]\n",
+      std::fprintf(stderr,
+                   "usage: %s [seeds_per_size] [--threads n] "
+                   "[--bench-json <file>]\n",
                    argv[0]);
       std::exit(1);
     }
@@ -87,5 +99,27 @@ std::vector<Result> sweep_seeds(int seeds_per_size, int threads,
 }
 
 using ftes::Stopwatch;  // wall-clock helper for the sweeps' summary lines
+
+/// Appends the sweeps' shared "total" BenchReport entry: throughput plus
+/// the three cache-hit rates of the incremental evaluator.  One helper so
+/// the fig7/fig8 artifact schemas cannot drift apart.
+inline void add_total_entry(BenchReport& report, const EvalStats& total,
+                            double seconds) {
+  BenchReport::Entry& entry = report.add("total");
+  entry.wall_seconds = seconds;
+  entry.metric("evaluations", static_cast<double>(total.evaluations));
+  entry.metric("evaluations_per_sec",
+               seconds > 0
+                   ? static_cast<double>(total.evaluations) / seconds
+                   : 0.0);
+  entry.metric("dp_cache_hit_rate", total.dp_reuse_fraction());
+  entry.metric("sched_resume_rate", total.ls_resume_fraction());
+  entry.metric("rebase_cache_hit_rate",
+               total.rebases > 0
+                   ? static_cast<double>(total.rebase_cache_hits) /
+                         static_cast<double>(total.rebases)
+                   : 0.0);
+  entry.metric("heap_pops", static_cast<double>(total.heap_pops));
+}
 
 }  // namespace ftes::bench

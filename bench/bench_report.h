@@ -1,0 +1,86 @@
+// Machine-readable benchmark reports (`--bench-json <file>`).
+//
+// The sweeps and micro-benches print human-readable tables; perf tracking
+// across commits needs stable, parseable artifacts instead.  A BenchReport
+// collects named entries -- each with a wall-clock and a flat list of
+// numeric metrics (evaluations/sec, cache-hit rates, ...) -- and writes
+// them as one JSON object.  The recommended artifact name is
+// BENCH_<bench>.json; see docs/CLI.md for the schema and the regeneration
+// commands.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json_io.h"
+
+namespace ftes::bench {
+
+struct BenchReport {
+  struct Entry {
+    std::string name;
+    double wall_seconds = 0.0;
+    /// Flat metric list (insertion order preserved in the JSON).
+    std::vector<std::pair<std::string, double>> metrics;
+
+    void metric(std::string key, double value) {
+      metrics.emplace_back(std::move(key), value);
+    }
+  };
+
+  std::string bench;  ///< binary name, e.g. "fig7_policy_assignment"
+  int threads = 1;
+  std::vector<Entry> entries;
+
+  Entry& add(std::string name) {
+    entries.push_back(Entry{});
+    entries.back().name = std::move(name);
+    return entries.back();
+  }
+
+  [[nodiscard]] std::string to_json() const {
+    std::ostringstream out;
+    out << "{\"bench\": ";
+    json_escape(out, bench);
+    out << ", \"threads\": " << threads << ", \"entries\": [";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const Entry& e = entries[i];
+      if (i > 0) out << ", ";
+      out << "{\"name\": ";
+      json_escape(out, e.name);
+      out << ", \"wall_seconds\": ";
+      json_seconds(out, e.wall_seconds);
+      out << ", \"metrics\": {";
+      for (std::size_t m = 0; m < e.metrics.size(); ++m) {
+        if (m > 0) out << ", ";
+        json_escape(out, e.metrics[m].first);
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.9g", e.metrics[m].second);
+        out << ": " << buf;
+      }
+      out << "}}";
+    }
+    out << "]}\n";
+    return out.str();
+  }
+
+  /// Writes to_json() to `path`; complains on stderr instead of throwing
+  /// (a failed perf artifact must not fail the bench run).
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench-json: cannot open %s\n", path.c_str());
+      return false;
+    }
+    const std::string json = to_json();
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    std::fclose(f);
+    if (!ok) std::fprintf(stderr, "bench-json: short write to %s\n", path.c_str());
+    return ok;
+  }
+};
+
+}  // namespace ftes::bench

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "core/metrics.h"
 #include "opt/baselines.h"
 
@@ -48,7 +49,11 @@ int main(int argc, char** argv) {
   Stopwatch watch;
   std::vector<double> all_mr, all_sfx, all_mx;
   EvalStats total;
+  BenchReport report;
+  report.bench = "fig7_policy_assignment";
+  report.threads = resolve_threads(cfg.threads);
   for (int size : sizes) {
+    const Stopwatch size_watch;
     const std::vector<SeedResult> seeds = sweep_seeds<SeedResult>(
         cfg.seeds_per_size, cfg.threads, [&](int s) {
           const std::uint64_t seed = 1000ull * static_cast<std::uint64_t>(size) +
@@ -92,6 +97,13 @@ int main(int argc, char** argv) {
     all_mr.insert(all_mr.end(), dev_mr.begin(), dev_mr.end());
     all_sfx.insert(all_sfx.end(), dev_sfx.begin(), dev_sfx.end());
     all_mx.insert(all_mx.end(), dev_mx.begin(), dev_mx.end());
+
+    BenchReport::Entry& entry =
+        report.add("procs_" + std::to_string(size));
+    entry.wall_seconds = size_watch.seconds();
+    entry.metric("deviation_mr_pct", mean(dev_mr));
+    entry.metric("deviation_sfx_pct", mean(dev_sfx));
+    entry.metric("deviation_mx_pct", mean(dev_mx));
   }
   std::printf("\n  overall averages: MXR better than MR by %.1f%%, than SFX "
               "by %.1f%%, than MX by %.1f%%\n",
@@ -106,6 +118,19 @@ int main(int argc, char** argv) {
               "(%.1f%% of the DP work skipped)\n",
               total.dp_vertices_reused, total.dp_vertices_total,
               100.0 * total.dp_reuse_fraction());
-  std::printf("  wall-clock: %.2fs\n", watch.seconds());
+  std::printf("  list scheduler: %lld of %lld candidate schedules resumed; "
+              "%lld of %lld placements served by snapshots (%.1f%%)\n",
+              total.ls_resumes, total.ls_resumes + total.ls_full_builds,
+              total.ls_events_resumed, total.ls_events_total,
+              100.0 * total.ls_resume_fraction());
+  std::printf("  rebases: %lld of %lld served by the winning-move cache\n",
+              total.rebase_cache_hits, total.rebases);
+  const double seconds = watch.seconds();
+  std::printf("  wall-clock: %.2fs\n", seconds);
+
+  if (cfg.bench_json) {
+    add_total_entry(report, total, seconds);
+    report.write(cfg.bench_json);
+  }
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_report.h"
 #include "core/metrics.h"
 #include "opt/baselines.h"
 #include "opt/checkpoint_opt.h"
@@ -42,7 +43,11 @@ int main(int argc, char** argv) {
 
   Stopwatch watch;
   EvalStats total;
+  BenchReport report;
+  report.bench = "fig8_checkpoint_opt";
+  report.threads = resolve_threads(cfg.threads);
   for (int size : sizes) {
+    const Stopwatch size_watch;
     const std::vector<SeedResult> seeds = sweep_seeds<SeedResult>(
         cfg.seeds_per_size, cfg.threads, [&](int s) {
           const std::uint64_t seed = 2000ull * static_cast<std::uint64_t>(size) +
@@ -99,12 +104,28 @@ int main(int argc, char** argv) {
     }
     std::printf("  %5d   %8.1f   %9.1f   %9.1f\n", size, mean(local_ftos),
                 mean(global_ftos), mean(deviations));
+
+    BenchReport::Entry& entry = report.add("procs_" + std::to_string(size));
+    entry.wall_seconds = size_watch.seconds();
+    entry.metric("fto_local_pct", mean(local_ftos));
+    entry.metric("fto_global_pct", mean(global_ftos));
+    entry.metric("deviation_pct", mean(deviations));
   }
   std::printf("\n  (paper's Fig. 8 reports deviations up to ~40%%, larger "
               "deviation = smaller overhead)\n");
   std::printf("  incremental evaluator: %lld evaluations, %.1f%% of the "
               "WCSL DP row work served from the base cache\n",
               total.evaluations, 100.0 * total.dp_reuse_fraction());
-  std::printf("  wall-clock: %.2fs\n", watch.seconds());
+  std::printf("  list scheduler: %.1f%% of candidate placements resumed; "
+              "%lld of %lld rebases served by the winning-move cache\n",
+              100.0 * total.ls_resume_fraction(), total.rebase_cache_hits,
+              total.rebases);
+  const double seconds = watch.seconds();
+  std::printf("  wall-clock: %.2fs\n", seconds);
+
+  if (cfg.bench_json) {
+    add_total_entry(report, total, seconds);
+    report.write(cfg.bench_json);
+  }
   return 0;
 }

@@ -6,11 +6,15 @@
 // plain_bench.h.
 #include "plain_bench.h"
 
+#include <cstring>
+
+#include "bench_report.h"
 #include "fault/recovery.h"
 #include "ftcpg/builder.h"
 #include "gen/taskgen.h"
 #include "opt/eval_context.h"
 #include "opt/policy_assignment.h"
+#include "reference_list_schedule.h"
 #include "sched/cond_scheduler.h"
 #include "sched/wcsl.h"
 
@@ -125,6 +129,84 @@ BENCHMARK(BM_EvalMoveIncremental)
     ->Args({50, 1})
     ->Args({100, 1});
 
+// ---------------------------------------------------------------------------
+// Incremental list scheduling: a candidate move's schedule rebuilt from
+// scratch vs resumed from the base's checkpoint log.  arg0 = processes,
+// arg1 = 1 for a DAG-sink move (long resumable prefix), 0 for a source
+// move (resume degenerates to a full rebuild -- the honest worst case).
+// ---------------------------------------------------------------------------
+
+struct MoveSetup {
+  Setup s;
+  ScheduleCheckpointLog log;
+  ProcessId pid;
+  PolicyAssignment candidates[2];
+};
+
+MoveSetup make_move_setup(int processes, bool sink) {
+  MoveSetup ms{make_setup(processes, 4, 3), ScheduleCheckpointLog{},
+               ProcessId{}, {}};
+  (void)list_schedule(ms.s.app, ms.s.arch, ms.s.assignment, ms.log);
+  ms.pid = move_target(ms.s, sink);
+  for (int flip = 0; flip < 2; ++flip) {
+    PolicyAssignment candidate = ms.s.assignment;
+    CopyPlan& cp = candidate.plan(ms.pid).copies[0];
+    cp.checkpoints = 1 + (cp.checkpoints + flip) % 8;
+    ms.candidates[flip] = std::move(candidate);
+  }
+  return ms;
+}
+
+void BM_MoveScheduleFull(benchmark::State& state) {
+  const MoveSetup ms =
+      make_move_setup(static_cast<int>(state.range(0)), state.range(1) != 0);
+  int flip = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        list_schedule(ms.s.app, ms.s.arch, ms.candidates[flip ^= 1]));
+  }
+}
+BENCHMARK(BM_MoveScheduleFull)->Args({50, 1})->Args({100, 1})->Args({100, 0});
+
+void BM_MoveScheduleResume(benchmark::State& state) {
+  const MoveSetup ms =
+      make_move_setup(static_cast<int>(state.range(0)), state.range(1) != 0);
+  int flip = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list_schedule_resume(ms.s.app, ms.s.arch,
+                                                  ms.s.assignment, ms.log,
+                                                  ms.candidates[flip ^= 1],
+                                                  ms.pid));
+  }
+}
+BENCHMARK(BM_MoveScheduleResume)
+    ->Args({50, 1})
+    ->Args({100, 1})
+    ->Args({100, 0});
+
+// ---------------------------------------------------------------------------
+// Ready-set management: the production heap-based scheduler vs the
+// historical O(V^2) linear ready-scan (kept here as a reference so the
+// asymptotic win stays measurable).
+// ---------------------------------------------------------------------------
+
+void BM_ReadySetLinearScan(benchmark::State& state) {
+  const Setup s = make_setup(static_cast<int>(state.range(0)), 4, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ftes::testing::reference_list_schedule(s.app, s.arch, s.assignment));
+  }
+}
+BENCHMARK(BM_ReadySetLinearScan)->Arg(50)->Arg(100);
+
+void BM_ReadySetHeap(benchmark::State& state) {
+  const Setup s = make_setup(static_cast<int>(state.range(0)), 4, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list_schedule(s.app, s.arch, s.assignment));
+  }
+}
+BENCHMARK(BM_ReadySetHeap)->Arg(50)->Arg(100);
+
 void BM_FtcpgBuild(benchmark::State& state) {
   const Setup s = make_setup(static_cast<int>(state.range(0)), 2,
                              static_cast<int>(state.range(1)));
@@ -156,4 +238,78 @@ BENCHMARK(BM_TaskGen)->Arg(20)->Arg(100);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): both harness paths understand
+// `--bench-json <file>` and write a BenchReport (bench_report.h) with one
+// entry per benchmark run (nanoseconds/op as the metric).
+#if defined(FTES_HAVE_GOOGLE_BENCHMARK)
+
+namespace {
+
+/// Console output as usual, plus capture of every run into the report.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCapturingReporter(ftes::bench::BenchReport* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      ftes::bench::BenchReport::Entry& e = report_->add(run.benchmark_name());
+      const double ns = run.GetAdjustedRealTime();
+      // wall_seconds is the timed loop's elapsed time (docs/CLI.md);
+      // per-op cost lives in the ns_per_op metric.
+      e.wall_seconds = ns * static_cast<double>(run.iterations) * 1e-9;
+      e.metric("ns_per_op", ns);
+      e.metric("iterations", static_cast<double>(run.iterations));
+    }
+  }
+
+ private:
+  ftes::bench::BenchReport* report_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--bench-json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  ftes::bench::BenchReport report;
+  report.bench = "micro_benchmarks";
+  JsonCapturingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (json_path) report.write(json_path);
+  return 0;
+}
+
+#else  // plain-chrono fallback
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--bench-json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  ftes::bench::BenchReport report;
+  report.bench = "micro_benchmarks";
+  benchmark::RunAllPlainBenchmarks(
+      [&](const std::string& name, double ns, std::int64_t iters) {
+        ftes::bench::BenchReport::Entry& e = report.add(name);
+        e.wall_seconds = ns * static_cast<double>(iters) * 1e-9;
+        e.metric("ns_per_op", ns);
+        e.metric("iterations", static_cast<double>(iters));
+      });
+  if (json_path) report.write(json_path);
+  return 0;
+}
+
+#endif  // FTES_HAVE_GOOGLE_BENCHMARK

@@ -17,6 +17,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -104,7 +105,11 @@ inline Benchmark* RegisterPlainBenchmark(const char* name, void (*fn)(State&)) {
   return b;
 }
 
-inline void RunAllPlainBenchmarks() {
+/// Runs every registered benchmark; `record(label, ns_per_op, iterations)`
+/// is additionally invoked per run when provided (the --bench-json hook).
+inline void RunAllPlainBenchmarks(
+    const std::function<void(const std::string&, double, std::int64_t)>&
+        record = {}) {
   std::printf("plain-chrono micro-benchmark fallback "
               "(Google Benchmark not found at configure time)\n");
   std::printf("%-44s %14s %12s\n", "benchmark", "time/op", "iterations");
@@ -132,6 +137,7 @@ inline void RunAllPlainBenchmarks() {
       const double ns = secs / static_cast<double>(iters) * 1e9;
       std::printf("%-44s %11.0f ns %12lld\n", label.c_str(), ns,
                   static_cast<long long>(iters));
+      if (record) record(label, ns, iters);
     }
   }
 }

@@ -16,6 +16,9 @@ void fill_eval_metrics(StageMetrics& metrics, const EvalStats& spent) {
   metrics.evaluations = spent.evaluations;
   metrics.cache_hits = spent.dp_vertices_reused;
   metrics.cache_misses = spent.dp_vertices_total - spent.dp_vertices_reused;
+  metrics.sched_events_total = spent.ls_events_total;
+  metrics.sched_events_resumed = spent.ls_events_resumed;
+  metrics.rebase_cache_hits = spent.rebase_cache_hits;
 }
 
 }  // namespace
@@ -27,7 +30,11 @@ std::string StageMetrics::to_json() const {
   out << ", \"skipped\": " << (skipped ? "true" : "false")
       << ", \"evaluations\": " << evaluations
       << ", \"cache_hits\": " << cache_hits
-      << ", \"cache_misses\": " << cache_misses << ", \"seconds\": ";
+      << ", \"cache_misses\": " << cache_misses
+      << ", \"sched_events_total\": " << sched_events_total
+      << ", \"sched_events_resumed\": " << sched_events_resumed
+      << ", \"rebase_cache_hits\": " << rebase_cache_hits
+      << ", \"seconds\": ";
   json_seconds(out, seconds);
   out << "}";
   return out.str();
@@ -97,9 +104,12 @@ void CheckpointRefineStage::run(SynthesisContext& ctx, SynthesisState& state,
 void ScheduleTableStage::run(SynthesisContext& ctx, SynthesisState& state,
                              StageMetrics& metrics) {
   const SynthesisOptions& options = ctx.options();
+  const EvalStats before = ctx.eval().stats();
+  // Usually served straight from the cached base DP: the refinement stage
+  // left the evaluator rebased on exactly this assignment.
   state.wcsl = ctx.eval().evaluate_full(state.assignment);
   state.schedulable = state.wcsl.meets_deadlines(ctx.app());
-  metrics.evaluations = 1;
+  fill_eval_metrics(metrics, ctx.eval().stats().since(before));
   if (options.build_schedule_tables) {
     try {
       CondScheduleOptions sched = options.schedule;

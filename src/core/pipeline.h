@@ -38,7 +38,12 @@ struct StageMetrics {
   long long evaluations = 0;  ///< objective evaluations spent in the stage
   long long cache_hits = 0;   ///< WCSL DP rows served from the EvalContext
   long long cache_misses = 0; ///< WCSL DP rows recomputed
-  double seconds = 0.0;       ///< wall-clock of the stage
+  /// List-scheduler incrementality: placement events candidate schedules
+  /// needed, and how many were served by checkpoint-snapshot resumes.
+  long long sched_events_total = 0;
+  long long sched_events_resumed = 0;
+  long long rebase_cache_hits = 0;  ///< rebases served by the move cache
+  double seconds = 0.0;             ///< wall-clock of the stage
 
   [[nodiscard]] std::string to_json() const;
 };

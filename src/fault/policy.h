@@ -33,6 +33,14 @@ struct CopyPlan {
   NodeId node;          ///< mapping M(copy); invalid until mapping decided
   int checkpoints = 0;  ///< X: equidistant checkpoints (0 = pure replica)
   int recoveries = 0;   ///< R: recoveries this copy may perform
+
+  friend bool operator==(const CopyPlan& a, const CopyPlan& b) {
+    return a.node == b.node && a.checkpoints == b.checkpoints &&
+           a.recoveries == b.recoveries;
+  }
+  friend bool operator!=(const CopyPlan& a, const CopyPlan& b) {
+    return !(a == b);
+  }
 };
 
 /// Complete plan for one process.
@@ -49,6 +57,13 @@ struct ProcessPlan {
   [[nodiscard]] int total_recoveries() const;
   /// Tolerance invariant: sum_j (R_j + 1) >= k + 1.
   [[nodiscard]] bool tolerates(int k) const;
+
+  friend bool operator==(const ProcessPlan& a, const ProcessPlan& b) {
+    return a.kind == b.kind && a.copies == b.copies;
+  }
+  friend bool operator!=(const ProcessPlan& a, const ProcessPlan& b) {
+    return !(a == b);
+  }
 };
 
 /// F + M for the whole application (indexed by ProcessId).

@@ -2,8 +2,35 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace ftes {
+
+namespace {
+
+/// Total order on (process, plan) moves, used to break metric ties in the
+/// winning-move cache deterministically: the parallel neighborhood
+/// evaluation updates the cache in a thread-dependent order, and without a
+/// total order the surviving tie entry -- and hence the rebase hit/miss
+/// pattern reported by EvalStats -- would vary with the thread count.
+bool move_key_less(ProcessId a_pid, const ProcessPlan& a, ProcessId b_pid,
+                   const ProcessPlan& b) {
+  if (a_pid != b_pid) return a_pid < b_pid;
+  if (a.kind != b.kind) return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  if (a.copies.size() != b.copies.size()) {
+    return a.copies.size() < b.copies.size();
+  }
+  for (std::size_t j = 0; j < a.copies.size(); ++j) {
+    const CopyPlan& x = a.copies[j];
+    const CopyPlan& y = b.copies[j];
+    if (x.node != y.node) return x.node < y.node;
+    if (x.checkpoints != y.checkpoints) return x.checkpoints < y.checkpoints;
+    if (x.recoveries != y.recoveries) return x.recoveries < y.recoveries;
+  }
+  return false;
+}
+
+}  // namespace
 
 EvalContext::EvalContext(const Application& app, const Architecture& arch,
                          FaultModel model)
@@ -64,33 +91,8 @@ Time EvalContext::penalized_cost(const std::vector<Time>& process_finish,
   return cost;
 }
 
-EvalContext::Outcome EvalContext::rebase(const PolicyAssignment& base) {
-  const int k = model_.k;
-  base_ = base;
-  ++version_;
-  base_sched_ = list_schedule(app_, arch_, base_);
-  base_dag_ = build_wcsl_dag(app_, arch_, base_, k, base_sched_);
+void EvalContext::rebuild_base_lookups() {
   const int total = base_dag_.g.vertex_count();
-
-  base_L_.assign(static_cast<std::size_t>(total), {});
-  for (int v : base_dag_.g.topological_order()) {
-    wcsl_dp_row(base_dag_, v, base_L_, k, base_L_[static_cast<std::size_t>(v)]);
-  }
-
-  base_first_copy_.assign(static_cast<std::size_t>(app_.process_count()) + 1,
-                          0);
-  for (int p = 0; p < app_.process_count(); ++p) {
-    base_first_copy_[static_cast<std::size_t>(p) + 1] =
-        base_first_copy_[static_cast<std::size_t>(p)] +
-        base_.plan(ProcessId{p}).copy_count();
-  }
-  base_copy_vertex_.assign(static_cast<std::size_t>(base_dag_.copy_count), -1);
-  for (int i = 0; i < base_dag_.copy_count; ++i) {
-    const ScheduledCopy& sc = base_sched_.copies[static_cast<std::size_t>(i)];
-    base_copy_vertex_[static_cast<std::size_t>(
-        base_first_copy_[static_cast<std::size_t>(sc.ref.process.get())] +
-        sc.ref.copy)] = i;
-  }
   base_first_tx_.assign(static_cast<std::size_t>(app_.message_count()) + 1, 0);
   for (int mi = 0; mi < app_.message_count(); ++mi) {
     base_first_tx_[static_cast<std::size_t>(mi) + 1] =
@@ -110,17 +112,19 @@ EvalContext::Outcome EvalContext::rebase(const PolicyAssignment& base) {
   }
   base_sorted_preds_.assign(static_cast<std::size_t>(total), {});
   for (int v = 0; v < total; ++v) {
-    base_sorted_preds_[static_cast<std::size_t>(v)] = base_dag_.g.predecessors(v);
+    base_sorted_preds_[static_cast<std::size_t>(v)] =
+        base_dag_.g.predecessors(v);
     std::sort(base_sorted_preds_[static_cast<std::size_t>(v)].begin(),
               base_sorted_preds_[static_cast<std::size_t>(v)].end());
   }
-  base_has_dp_ = true;
-  rebases_.fetch_add(1, std::memory_order_relaxed);
+}
 
+EvalContext::Outcome EvalContext::outcome_from_base_rows() const {
+  const int k = model_.k;
   Outcome out;
   std::vector<Time> process_finish(
       static_cast<std::size_t>(app_.process_count()), 0);
-  for (int v = 0; v < total; ++v) {
+  for (int v = 0; v < base_dag_.g.vertex_count(); ++v) {
     const Time worst =
         base_L_[static_cast<std::size_t>(v)][static_cast<std::size_t>(k)];
     out.makespan = std::max(out.makespan, worst);
@@ -134,30 +138,127 @@ EvalContext::Outcome EvalContext::rebase(const PolicyAssignment& base) {
   return out;
 }
 
-void EvalContext::rebase_fault_free(const PolicyAssignment& base) {
-  base_ = base;
-  ++version_;
-  base_has_dp_ = false;
-  rebases_.fetch_add(1, std::memory_order_relaxed);
+void EvalContext::invalidate_winner_cache() {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  best_cost_ = CacheEntry{};
+  best_span_ = CacheEntry{};
 }
 
-EvalContext::Outcome EvalContext::incremental_outcome(Workspace& ws) {
+EvalContext::Outcome EvalContext::rebase(const PolicyAssignment& base) {
   const int k = model_.k;
-  const ListSchedule sched = list_schedule(app_, arch_, ws.assignment);
-  const WcslDag dag = build_wcsl_dag(app_, arch_, ws.assignment, k, sched);
+
+  // Winning-move cache: when the new base is the old base with exactly one
+  // plan replaced, and that (process, plan) matches a cached candidate,
+  // adopt the candidate's DAG + DP rows wholesale.  Only the fault-free
+  // schedule is rebuilt (its checkpoint log must describe the new base);
+  // the DP -- the dominant rebase cost -- is a pointer swap.
+  if (base_has_dp_ && base.process_count() == base_.process_count()) {
+    std::int32_t diff_pid = -1;
+    int diffs = 0;
+    for (int i = 0; i < base.process_count() && diffs <= 1; ++i) {
+      if (base.plan(ProcessId{i}) != base_.plan(ProcessId{i})) {
+        diff_pid = i;
+        ++diffs;
+      }
+    }
+    if (diffs == 1) {
+      Outcome out;
+      bool hit = false;
+      {
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        for (CacheEntry* slot : {&best_cost_, &best_span_}) {
+          if (slot->valid && slot->pid.get() == diff_pid &&
+              slot->plan == base.plan(ProcessId{diff_pid})) {
+            // Both slots may share these artifacts; both are invalidated
+            // below, before the lock is released, so moving out is safe.
+            base_dag_ = std::move(slot->artifacts->dag);
+            base_L_ = std::move(slot->artifacts->L);
+            out = slot->outcome;
+            best_cost_ = CacheEntry{};
+            best_span_ = CacheEntry{};
+            hit = true;
+            break;
+          }
+        }
+      }
+      if (hit) {
+        base_ = base;
+        ++version_;
+        base_sched_ = list_schedule(app_, arch_, base_, base_log_);
+        base_has_log_ = true;
+        rebuild_base_lookups();
+        base_has_dp_ = true;
+        rebases_.fetch_add(1, std::memory_order_relaxed);
+        rebase_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        return out;
+      }
+    }
+  }
+
+  base_ = base;
+  ++version_;
+  invalidate_winner_cache();
+  base_sched_ = list_schedule(app_, arch_, base_, base_log_);
+  base_has_log_ = true;
+  base_dag_ = build_wcsl_dag(app_, arch_, base_, k, base_sched_);
+  const int total = base_dag_.g.vertex_count();
+
+  base_L_.assign(static_cast<std::size_t>(total), {});
+  for (int v : base_dag_.g.topological_order()) {
+    wcsl_dp_row(base_dag_, v, base_L_, k, base_L_[static_cast<std::size_t>(v)]);
+  }
+  rebuild_base_lookups();
+  base_has_dp_ = true;
+  rebases_.fetch_add(1, std::memory_order_relaxed);
+  return outcome_from_base_rows();
+}
+
+Time EvalContext::rebase_fault_free(const PolicyAssignment& base) {
+  base_ = base;
+  ++version_;
+  invalidate_winner_cache();
+  base_has_dp_ = false;
+  base_sched_ = list_schedule(app_, arch_, base_, base_log_);
+  base_has_log_ = true;
+  rebases_.fetch_add(1, std::memory_order_relaxed);
+  return base_sched_.makespan;
+}
+
+void EvalContext::record_resume_stats(const ListScheduleResumeStats& stats) {
+  (stats.resumed ? ls_resumes_ : ls_full_builds_)
+      .fetch_add(1, std::memory_order_relaxed);
+  ls_events_total_.fetch_add(static_cast<long long>(stats.events_total),
+                             std::memory_order_relaxed);
+  ls_events_resumed_.fetch_add(static_cast<long long>(stats.events_resumed),
+                               std::memory_order_relaxed);
+  heap_pops_.fetch_add(static_cast<long long>(stats.heap_pops),
+                       std::memory_order_relaxed);
+}
+
+EvalContext::Outcome EvalContext::incremental_outcome(Workspace& ws,
+                                                      ProcessId pid) {
+  const int k = model_.k;
+  ListScheduleResumeStats rstats;
+  ws.sched = list_schedule_resume(app_, arch_, base_, base_log_,
+                                  ws.assignment, pid, &rstats);
+  record_resume_stats(rstats);
+  ws.dag = build_wcsl_dag(app_, arch_, ws.assignment, k, ws.sched);
+  const ListSchedule& sched = ws.sched;
+  const WcslDag& dag = ws.dag;
   const int total = dag.g.vertex_count();
 
   // Map candidate vertices onto base vertices by identity key: copies by
-  // (process, copy), transmissions by (message, source copy).  A remap or
-  // policy move may create or drop vertices; unmapped ones are dirty.
+  // (process, copy) -- prefix arithmetic on both sides -- transmissions by
+  // (message, source copy).  A remap or policy move may create or drop
+  // vertices; unmapped ones are dirty.
   ws.to_base.assign(static_cast<std::size_t>(total), -1);
   for (int i = 0; i < dag.copy_count; ++i) {
     const ScheduledCopy& sc = sched.copies[static_cast<std::size_t>(i)];
-    const std::int32_t p = sc.ref.process.get();
     if (sc.ref.copy < base_.plan(sc.ref.process).copy_count()) {
       ws.to_base[static_cast<std::size_t>(i)] =
-          base_copy_vertex_[static_cast<std::size_t>(
-              base_first_copy_[static_cast<std::size_t>(p)] + sc.ref.copy)];
+          base_sched_.first_copy[static_cast<std::size_t>(
+              sc.ref.process.get())] +
+          sc.ref.copy;
     }
   }
   for (int m = 0; m < dag.msg_count; ++m) {
@@ -231,6 +332,37 @@ EvalContext::Outcome EvalContext::incremental_outcome(Workspace& ws) {
   return out;
 }
 
+void EvalContext::maybe_cache_winner(Workspace& ws, ProcessId pid,
+                                     const Outcome& outcome) {
+  const ProcessPlan& plan = ws.assignment.plan(pid);
+  const auto improves = [&](Time metric, Time slot_metric,
+                            const CacheEntry& slot) {
+    if (!slot.valid) return true;
+    if (metric != slot_metric) return metric < slot_metric;
+    return move_key_less(pid, plan, slot.pid, slot.plan);
+  };
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  const bool cost_improves =
+      improves(outcome.cost, best_cost_.outcome.cost, best_cost_);
+  const bool span_improves =
+      improves(outcome.makespan, best_span_.outcome.makespan, best_span_);
+  if (!cost_improves && !span_improves) return;
+  // The workspace artifacts are dead after this evaluation (the next move
+  // rebuilds them), so stealing them keeps the critical section O(1).
+  auto artifacts = std::make_shared<CachedArtifacts>();
+  artifacts->dag = std::move(ws.dag);
+  artifacts->L = std::move(ws.L);
+  const auto store = [&](CacheEntry& slot) {
+    slot.valid = true;
+    slot.pid = pid;
+    slot.plan = plan;
+    slot.outcome = outcome;
+    slot.artifacts = artifacts;
+  };
+  if (cost_improves) store(best_cost_);
+  if (span_improves) store(best_span_);
+}
+
 EvalContext::Outcome EvalContext::evaluate_move(ProcessId pid,
                                                 const ProcessPlan& plan) {
   if (!base_has_dp_) {
@@ -238,21 +370,48 @@ EvalContext::Outcome EvalContext::evaluate_move(ProcessId pid,
   }
   evaluations_.fetch_add(1, std::memory_order_relaxed);
   incremental_evals_.fetch_add(1, std::memory_order_relaxed);
-  return with_move(pid, plan,
-                   [&](Workspace& ws) { return incremental_outcome(ws); });
+  return with_move(pid, plan, [&](Workspace& ws) {
+    const Outcome out = incremental_outcome(ws, pid);
+    maybe_cache_winner(ws, pid, out);
+    return out;
+  });
 }
 
 Time EvalContext::fault_free_makespan(ProcessId pid, const ProcessPlan& plan) {
+  if (!base_has_log_) {
+    throw std::logic_error("EvalContext::fault_free_makespan without rebase");
+  }
   evaluations_.fetch_add(1, std::memory_order_relaxed);
   fault_free_evals_.fetch_add(1, std::memory_order_relaxed);
   return with_move(pid, plan, [&](Workspace& ws) {
-    return list_schedule(app_, arch_, ws.assignment).makespan;
+    ListScheduleResumeStats rstats;
+    const Time makespan =
+        list_schedule_resume(app_, arch_, base_, base_log_, ws.assignment,
+                             pid, &rstats)
+            .makespan;
+    record_resume_stats(rstats);
+    return makespan;
   });
 }
 
 WcslResult EvalContext::evaluate_full(const PolicyAssignment& assignment) {
   evaluations_.fetch_add(1, std::memory_order_relaxed);
   full_evals_.fetch_add(1, std::memory_order_relaxed);
+  if (base_has_dp_ && assignment.process_count() == base_.process_count()) {
+    bool same = true;
+    for (int i = 0; i < assignment.process_count() && same; ++i) {
+      same = assignment.plan(ProcessId{i}) == base_.plan(ProcessId{i});
+    }
+    if (same) {
+      // The final analysis of an optimizer's accepted base: every DP row is
+      // already cached, so only the result extraction remains.
+      const int total = base_dag_.g.vertex_count();
+      dp_vertices_total_.fetch_add(total, std::memory_order_relaxed);
+      dp_vertices_reused_.fetch_add(total, std::memory_order_relaxed);
+      return wcsl_result_from_rows(app_, base_sched_, base_dag_, base_L_,
+                                   model_.k);
+    }
+  }
   return evaluate_wcsl(app_, arch_, assignment, model_);
 }
 
@@ -265,6 +424,12 @@ EvalStats EvalContext::stats() const {
   s.rebases = rebases_.load(std::memory_order_relaxed);
   s.dp_vertices_total = dp_vertices_total_.load(std::memory_order_relaxed);
   s.dp_vertices_reused = dp_vertices_reused_.load(std::memory_order_relaxed);
+  s.ls_full_builds = ls_full_builds_.load(std::memory_order_relaxed);
+  s.ls_resumes = ls_resumes_.load(std::memory_order_relaxed);
+  s.ls_events_total = ls_events_total_.load(std::memory_order_relaxed);
+  s.ls_events_resumed = ls_events_resumed_.load(std::memory_order_relaxed);
+  s.heap_pops = heap_pops_.load(std::memory_order_relaxed);
+  s.rebase_cache_hits = rebase_cache_hits_.load(std::memory_order_relaxed);
   return s;
 }
 

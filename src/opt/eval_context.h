@@ -3,29 +3,40 @@
 // The tabu optimizers and the checkpoint refinement evaluate tens of
 // thousands of candidates per run, each differing from an incumbent
 // assignment in a single process plan.  Evaluating a candidate from
-// scratch pays twice: a full PolicyAssignment copy per candidate and a
-// full budgeted-longest-path DP (sched/wcsl.h) over the augmented schedule
-// DAG.  EvalContext removes both costs:
+// scratch pays three times: a full PolicyAssignment copy per candidate, a
+// full fault-free list schedule rebuild, and a full budgeted-longest-path
+// DP (sched/wcsl.h) over the augmented schedule DAG.  EvalContext removes
+// all three costs:
 //
 //   * Moves are expressed as (process, new ProcessPlan) against a cached
 //     *base* assignment.  Per-thread workspaces materialize a candidate by
 //     swapping the one plan in and out, so no full assignment is copied
 //     per candidate.
+//   * The base's list schedule is built once with a ScheduleCheckpointLog
+//     (sched/list_scheduler.h); a candidate's schedule resumes from the
+//     last snapshot that provably precedes any placement the move can
+//     affect instead of replaying the whole event sequence.
 //   * The base's DP rows are cached.  A candidate's augmented DAG is
 //     diffed against the base's: a vertex whose release, weight table and
 //     predecessor set are unchanged, and whose predecessors are all clean,
 //     reuses the cached row; everything downstream of a change is
 //     recomputed (dirty-successor propagation).
+//   * During a sweep the best candidate's schedule + DAG + DP rows are
+//     kept; a rebase() onto exactly that winning move adopts them (a
+//     pointer swap plus a schedule-log rebuild) instead of re-running the
+//     DP -- the common accept step of the tabu loops becomes near-free.
 //
-// Results are bit-identical to a from-scratch evaluation: the fault-free
-// list schedule is always rebuilt exactly, and a reused row equals the row
-// the full DP would compute (the same integer recurrence on inputs proven
-// equal by the diff).  The win is skipping the DP work outside the DAG
-// region a move actually touches; EvalStats reports the reuse rate.
+// Results are bit-identical to a from-scratch evaluation: the resumed list
+// schedule is exact by construction (property-tested against full
+// rebuilds), and a reused row equals the row the full DP would compute
+// (the same integer recurrence on inputs proven equal by the diff).
+// EvalStats reports the reuse rates of all three layers.
 //
 // Thread safety: evaluate_move / fault_free_makespan may run concurrently
 // (the parallel neighborhood evaluation relies on this); rebase /
-// rebase_fault_free must not race with in-flight evaluations.
+// rebase_fault_free must not race with in-flight evaluations.  The
+// winning-move cache resolves cost ties by a total order on moves, so its
+// content -- and therefore every counter -- is thread-count invariant.
 #pragma once
 
 #include <atomic>
@@ -55,14 +66,17 @@ class EvalContext {
     Time cost = 0;      ///< makespan + soft local-deadline penalties
   };
 
-  /// Recomputes the cached schedule + DP for `base` (one full evaluation)
-  /// and returns its outcome.  Invalidates workspaces lazily.
+  /// Recomputes the cached schedule + DP for `base` and returns its
+  /// outcome.  When `base` is the previous base with exactly the cached
+  /// winning move applied, the candidate's artifacts are adopted instead
+  /// of recomputed (near-free; counted as a rebase cache hit).
+  /// Invalidates workspaces lazily.
   Outcome rebase(const PolicyAssignment& base);
 
   /// Caches `base` for fault-free (list-schedule makespan) move evaluation
-  /// only; no DP (and no base schedule) is built -- callers that need the
-  /// base's own makespan already have it from the move evaluation that won.
-  void rebase_fault_free(const PolicyAssignment& base);
+  /// only; builds the base schedule + checkpoint log but no DP.  Returns
+  /// the base's own fault-free makespan.
+  Time rebase_fault_free(const PolicyAssignment& base);
 
   /// WCSL outcome of base-with-plan(pid)-replaced-by-plan, evaluated
   /// incrementally against the cached DP.  Requires a prior rebase().
@@ -73,7 +87,9 @@ class EvalContext {
   [[nodiscard]] Time fault_free_makespan(ProcessId pid,
                                          const ProcessPlan& plan);
 
-  /// Non-incremental evaluation of an arbitrary assignment (stats-counted).
+  /// Evaluation of an arbitrary assignment (stats-counted).  Served
+  /// entirely from the cached base DP when `assignment` equals the current
+  /// base; non-incremental otherwise.
   [[nodiscard]] WcslResult evaluate_full(const PolicyAssignment& assignment);
 
   [[nodiscard]] const PolicyAssignment& base() const { return base_; }
@@ -86,11 +102,35 @@ class EvalContext {
   struct Workspace {
     PolicyAssignment assignment;
     std::uint64_t version = 0;
+    ListSchedule sched;
+    WcslDag dag;
     std::vector<std::vector<Time>> L;
     std::vector<int> to_base;
     std::vector<char> clean;
     std::vector<int> mapped_preds;
     std::vector<Time> process_finish;
+  };
+
+  /// Winning-move cache: the artifacts of the best candidate evaluated
+  /// since the last rebase, one slot per selection metric (the policy tabu
+  /// search accepts by cost, the checkpoint refinement by makespan).
+  /// Ties resolve by a total order on (process, plan) so the cached entry
+  /// is identical for every thread count.  Artifacts are *moved* out of
+  /// the evaluating workspace and shared between the two slots, so a
+  /// store under the cache mutex is O(1) -- no DP-row copies on the
+  /// parallel evaluation path.  (The candidate's schedule is not kept:
+  /// an adopting rebase must rebuild it anyway to record a fresh
+  /// checkpoint log.)
+  struct CachedArtifacts {
+    WcslDag dag;
+    std::vector<std::vector<Time>> L;
+  };
+  struct CacheEntry {
+    bool valid = false;
+    ProcessId pid;
+    ProcessPlan plan;
+    Outcome outcome;
+    std::shared_ptr<CachedArtifacts> artifacts;
   };
 
   [[nodiscard]] std::unique_ptr<Workspace> acquire();
@@ -100,7 +140,15 @@ class EvalContext {
   template <class Body>
   auto with_move(ProcessId pid, const ProcessPlan& plan, const Body& body);
 
-  [[nodiscard]] Outcome incremental_outcome(Workspace& ws);
+  [[nodiscard]] Outcome incremental_outcome(Workspace& ws, ProcessId pid);
+  void record_resume_stats(const ListScheduleResumeStats& stats);
+  /// May move ws.dag / ws.L into the cache (they are dead after a move
+  /// evaluation and rebuilt by the next one).
+  void maybe_cache_winner(Workspace& ws, ProcessId pid,
+                          const Outcome& outcome);
+  void invalidate_winner_cache();
+  void rebuild_base_lookups();
+  [[nodiscard]] Outcome outcome_from_base_rows() const;
   [[nodiscard]] Time penalized_cost(const std::vector<Time>& process_finish,
                                     Time makespan) const;
 
@@ -108,25 +156,30 @@ class EvalContext {
   const Architecture& arch_;
   FaultModel model_;
 
-  // Cached base: assignment, its fault-free schedule, augmented DAG, DP
-  // rows, and lookup structures for the candidate diff.
+  // Cached base: assignment, its fault-free schedule + checkpoint log,
+  // augmented DAG, DP rows, and lookup structures for the candidate diff.
   PolicyAssignment base_;
   std::uint64_t version_ = 0;
   bool base_has_dp_ = false;
+  bool base_has_log_ = false;
   ListSchedule base_sched_;
+  ScheduleCheckpointLog base_log_;
   WcslDag base_dag_;
   std::vector<std::vector<Time>> base_L_;
-  // Flat (process, copy) -> base vertex and (message, source copy) -> base
-  // vertex lookups via prefix offsets over the *base* plan shapes; -1 for
-  // keys absent from the base schedule.
-  std::vector<int> base_first_copy_;
-  std::vector<int> base_copy_vertex_;
+  // (message, source copy) -> base transmission vertex via prefix offsets
+  // over the *base* plan shapes; -1 for keys absent from the base schedule.
+  // (The copy-side lookup needs no table: copy vertices are prefix-indexed
+  // by construction, see ListSchedule::first_copy.)
   std::vector<int> base_first_tx_;
   std::vector<int> base_msg_vertex_;
   std::vector<std::vector<int>> base_sorted_preds_;
 
   std::mutex ws_mutex_;
   std::vector<std::unique_ptr<Workspace>> idle_ws_;
+
+  std::mutex cache_mutex_;
+  CacheEntry best_cost_;  ///< minimizes (cost, move key)
+  CacheEntry best_span_;  ///< minimizes (makespan, move key)
 
   std::atomic<long long> evaluations_{0};
   std::atomic<long long> full_evals_{0};
@@ -135,6 +188,12 @@ class EvalContext {
   std::atomic<long long> rebases_{0};
   std::atomic<long long> dp_vertices_total_{0};
   std::atomic<long long> dp_vertices_reused_{0};
+  std::atomic<long long> ls_full_builds_{0};
+  std::atomic<long long> ls_resumes_{0};
+  std::atomic<long long> ls_events_total_{0};
+  std::atomic<long long> ls_events_resumed_{0};
+  std::atomic<long long> heap_pops_{0};
+  std::atomic<long long> rebase_cache_hits_{0};
 };
 
 }  // namespace ftes

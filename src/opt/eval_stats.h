@@ -3,10 +3,13 @@
 // pulling in the evaluator itself.
 //
 // `evaluations` counts objective evaluations of any kind; the remaining
-// counters break down how they were served.  The DP vertex counters are
-// the cache metric of the pipeline's per-stage reports: a reused vertex is
-// a budgeted-longest-path row taken from the cached base instead of being
-// recomputed.
+// counters break down how they were served.  Two cache layers exist: the
+// WCSL DP row cache (a reused vertex is a budgeted-longest-path row taken
+// from the cached base instead of recomputed) and the list-schedule
+// checkpoint log (a resumed event is a copy/transmission placement served
+// by a base snapshot instead of replayed).  `rebase_cache_hits` counts
+// base recomputations served wholesale from the winning candidate's cached
+// schedule + DP rows.
 #pragma once
 
 namespace ftes {
@@ -16,15 +19,32 @@ struct EvalStats {
   long long full_evals = 0;         ///< complete list-schedule + DP runs
   long long incremental_evals = 0;  ///< move evals against the cached base
   long long fault_free_evals = 0;   ///< list-schedule-only makespan evals
-  long long rebases = 0;            ///< base recomputations (full DP each)
+  long long rebases = 0;            ///< base recomputations
   long long dp_vertices_total = 0;  ///< DP rows needed by incremental evals
   long long dp_vertices_reused = 0; ///< of those, rows served from the cache
+
+  // List-scheduler incrementality (move evaluations only; rebases always
+  // rebuild in full to record a fresh checkpoint log).
+  long long ls_full_builds = 0;     ///< move schedules built from scratch
+  long long ls_resumes = 0;         ///< move schedules resumed from a snapshot
+  long long ls_events_total = 0;    ///< placement events move schedules needed
+  long long ls_events_resumed = 0;  ///< of those, served by snapshot prefixes
+  long long heap_pops = 0;          ///< ready/tx queue pops in move schedules
+  long long rebase_cache_hits = 0;  ///< rebases served by the move cache
 
   /// Fraction of DP rows served from the cache across incremental evals.
   [[nodiscard]] double dp_reuse_fraction() const {
     return dp_vertices_total > 0
                ? static_cast<double>(dp_vertices_reused) /
                      static_cast<double>(dp_vertices_total)
+               : 0.0;
+  }
+
+  /// Fraction of list-schedule placement events served by snapshot resumes.
+  [[nodiscard]] double ls_resume_fraction() const {
+    return ls_events_total > 0
+               ? static_cast<double>(ls_events_resumed) /
+                     static_cast<double>(ls_events_total)
                : 0.0;
   }
 
@@ -36,6 +56,12 @@ struct EvalStats {
     rebases += other.rebases;
     dp_vertices_total += other.dp_vertices_total;
     dp_vertices_reused += other.dp_vertices_reused;
+    ls_full_builds += other.ls_full_builds;
+    ls_resumes += other.ls_resumes;
+    ls_events_total += other.ls_events_total;
+    ls_events_resumed += other.ls_events_resumed;
+    heap_pops += other.heap_pops;
+    rebase_cache_hits += other.rebase_cache_hits;
   }
 
   /// Counter deltas since `earlier` (used to attribute a shared context's
@@ -49,6 +75,12 @@ struct EvalStats {
     d.rebases -= earlier.rebases;
     d.dp_vertices_total -= earlier.dp_vertices_total;
     d.dp_vertices_reused -= earlier.dp_vertices_reused;
+    d.ls_full_builds -= earlier.ls_full_builds;
+    d.ls_resumes -= earlier.ls_resumes;
+    d.ls_events_total -= earlier.ls_events_total;
+    d.ls_events_resumed -= earlier.ls_events_resumed;
+    d.heap_pops -= earlier.heap_pops;
+    d.rebase_cache_hits -= earlier.rebase_cache_hits;
     return d;
   }
 };

@@ -57,8 +57,9 @@ MappingOptResult optimize_mapping_no_ft(const Application& app,
   EvalContext eval(app, arch, FaultModel{0});
 
   PolicyAssignment current = bare_greedy(app, arch);
-  eval.rebase_fault_free(current);
-  Time current_cost = list_schedule(app, arch, current).makespan;
+  // Rebasing builds the base schedule + checkpoint log (so candidate moves
+  // resume instead of rescheduling from scratch) and reports its makespan.
+  Time current_cost = eval.rebase_fault_free(current);
   PolicyAssignment best = current;
   Time best_cost = current_cost;
   int evaluations = 1;

@@ -327,7 +327,9 @@ OptimizeResult optimize_from(const Application& app, const Architecture& arch,
 
   OptimizeResult result;
   result.assignment = best;
-  const WcslResult wcsl = evaluate_wcsl(app, arch, best, model);
+  // Served from the cached base DP when the search ends on its best
+  // assignment (the common case); full evaluation otherwise.
+  const WcslResult wcsl = eval->evaluate_full(best);
   result.wcsl = wcsl.makespan;
   result.schedulable = wcsl.meets_deadlines(app);
   result.evaluations = evaluations;

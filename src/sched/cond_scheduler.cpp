@@ -76,8 +76,8 @@ class CondSim {
       // Raise pins to the observed maxima.
       for (const ScenarioTrace& tr : result.traces) {
         for (const ExecTrace& e : tr.execs) {
-          const std::size_t ci = static_cast<std::size_t>(copy_index_.at(
-              {e.copy.process.get(), e.copy.copy}));
+          const std::size_t ci = static_cast<std::size_t>(
+              copy_at(e.copy.process.get(), e.copy.copy));
           if (!copies_[ci].frozen) continue;
           Time& pin = copy_pins_[ci];
           if (e.start > pin) {
@@ -125,6 +125,15 @@ class CondSim {
  private:
   // ---------------------------------------------------------------- setup
   void build_static_info() {
+    // Flat (process, copy) -> global copy index via per-process prefix
+    // offsets: the simulate() inner loops and the fixpoint pin updates hit
+    // this lookup constantly, so no std::map on that path.
+    first_copy_.assign(static_cast<std::size_t>(app_.process_count()) + 1, 0);
+    for (int i = 0; i < app_.process_count(); ++i) {
+      first_copy_[static_cast<std::size_t>(i) + 1] =
+          first_copy_[static_cast<std::size_t>(i)] +
+          pa_.plan(ProcessId{i}).copy_count();
+    }
     for (int i = 0; i < app_.process_count(); ++i) {
       const ProcessId pid{i};
       const Process& proc = app_.process(pid);
@@ -144,7 +153,7 @@ class CondSim {
         info.name = plan.copy_count() > 1
                         ? proc.name + "(" + std::to_string(j + 1) + ")"
                         : proc.name;
-        copy_index_[{pid.get(), j}] = static_cast<int>(copies_.size());
+        assert(copy_at(pid.get(), j) == static_cast<int>(copies_.size()));
         copies_.push_back(info);
       }
     }
@@ -158,8 +167,8 @@ class CondSim {
       const ProcessPlan& dp = pa_.plan(m.dst);
       for (int sj = 0; sj < sp.copy_count(); ++sj) {
         for (int dj = 0; dj < dp.copy_count(); ++dj) {
-          g.add_edge(copy_index_.at({m.src.get(), sj}),
-                     copy_index_.at({m.dst.get(), dj}));
+          g.add_edge(copy_at(m.src.get(), sj),
+                     copy_at(m.dst.get(), dj));
         }
       }
     }
@@ -335,7 +344,7 @@ class CondSim {
         // locally observed death).
         const ProcessPlan& dp = pa_.plan(m.dst);
         for (int dj = 0; dj < dp.copy_count(); ++dj) {
-          const int dst = copy_index_.at({m.dst.get(), dj});
+          const int dst = copy_at(m.dst.get(), dj);
           if (copies_[static_cast<std::size_t>(dst)].node == ci.node) {
             resolve(dst, mid, ci.ref.copy, run.end);
           } else if (!run.survived && !opts_.schedule_condition_broadcasts) {
@@ -362,7 +371,7 @@ class CondSim {
     auto on_condition_committed = [&](const TxTrace& tx) {
       const CopyRef src = cond_copy_.at(tx.cond_id);
       const std::size_t ci = static_cast<std::size_t>(
-          copy_index_.at({src.process.get(), src.copy}));
+          copy_at(src.process.get(), src.copy));
       const CopyInfo& info = copies_[ci];
       const CopyRun& run = runs[ci];
       if (run.survived) return;
@@ -373,7 +382,7 @@ class CondSim {
         const Message& m = app_.message(mid);
         const ProcessPlan& dp = pa_.plan(m.dst);
         for (int dj = 0; dj < dp.copy_count(); ++dj) {
-          const int dst = copy_index_.at({m.dst.get(), dj});
+          const int dst = copy_at(m.dst.get(), dj);
           if (copies_[static_cast<std::size_t>(dst)].node != info.node) {
             resolve(dst, mid, src.copy, tx.finish);
           }
@@ -397,7 +406,7 @@ class CondSim {
         Time earliest = kTimeInfinity;
         for (int sj = 0; sj < sp.copy_count(); ++sj) {
           const CopyRun& run =
-              runs[static_cast<std::size_t>(copy_index_.at({m.src.get(), sj}))];
+              runs[static_cast<std::size_t>(copy_at(m.src.get(), sj))];
           if (!run.committed) {
             all_committed = false;
             break;
@@ -414,7 +423,7 @@ class CondSim {
         tx.tx.msg = mid;
         tx.tx.src_copy = -1;
         tx.tx.sender =
-            copies_[static_cast<std::size_t>(copy_index_.at({m.src.get(), 0}))]
+            copies_[static_cast<std::size_t>(copy_at(m.src.get(), 0))]
                 .node;
         tx.tx.ready =
             std::max(earliest, msg_pins_[static_cast<std::size_t>(mi)]);
@@ -473,14 +482,14 @@ class CondSim {
           const Message& m = app_.message(tx.msg);
           const ProcessPlan& dp = pa_.plan(m.dst);
           for (int dj = 0; dj < dp.copy_count(); ++dj) {
-            resolve(copy_index_.at({m.dst.get(), dj}), tx.msg, -1, tx.finish);
+            resolve(copy_at(m.dst.get(), dj), tx.msg, -1, tx.finish);
           }
         } else {
           // Data: remote consumers resolve at the transmission's end.
           const Message& m = app_.message(tx.msg);
           const ProcessPlan& dp = pa_.plan(m.dst);
           for (int dj = 0; dj < dp.copy_count(); ++dj) {
-            const int dst = copy_index_.at({m.dst.get(), dj});
+            const int dst = copy_at(m.dst.get(), dj);
             if (copies_[static_cast<std::size_t>(dst)].node != tx.sender) {
               resolve(dst, tx.msg, tx.src_copy, tx.finish);
             }
@@ -585,7 +594,7 @@ class CondSim {
     std::vector<TableRecord> records;
     for (const ExecTrace& e : tr.execs) {
       const CopyInfo& ci = copies_[static_cast<std::size_t>(
-          copy_index_.at({e.copy.process.get(), e.copy.copy}))];
+          copy_at(e.copy.process.get(), e.copy.copy))];
       for (std::size_t a = 0; a < e.attempt_starts.size(); ++a) {
         const Time t = e.attempt_starts[a];
         records.push_back(TableRecord{ci.node.get(), ci.name,
@@ -675,8 +684,13 @@ class CondSim {
   int threads_ = 1;
   ThreadPool* pool_ = nullptr;
 
+  /// O(1) (process, copy) -> global copy index (prefix offsets).
+  [[nodiscard]] int copy_at(std::int32_t pid, int copy) const {
+    return first_copy_[static_cast<std::size_t>(pid)] + copy;
+  }
+
   std::vector<CopyInfo> copies_;
-  std::map<std::pair<std::int32_t, int>, int> copy_index_;
+  std::vector<int> first_copy_;
   std::vector<Time> copy_pins_;
   std::vector<Time> msg_pins_;
   CondRegistry registry_;

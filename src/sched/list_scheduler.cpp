@@ -2,27 +2,34 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
+#include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "fault/recovery.h"
 #include "graph/digraph.h"
+#include "util/binary_heap.h"
 
 namespace ftes {
 
 int ListSchedule::copy_index(CopyRef ref) const {
-  for (std::size_t i = 0; i < copies.size(); ++i) {
-    if (copies[i].ref == ref) return static_cast<int>(i);
-  }
-  return -1;
+  const std::int32_t p = ref.process.get();
+  if (p < 0 || static_cast<std::size_t>(p) + 1 >= first_copy.size()) return -1;
+  if (ref.copy < 0) return -1;
+  const int idx = first_copy[static_cast<std::size_t>(p)] + ref.copy;
+  if (idx >= first_copy[static_cast<std::size_t>(p) + 1]) return -1;
+  return idx;
 }
 
 Time ListSchedule::process_finish(ProcessId p) const {
+  if (!p.valid() ||
+      static_cast<std::size_t>(p.get()) + 1 >= first_copy.size()) {
+    return 0;
+  }
   Time latest = 0;
-  auto it = copies_by_process.find(p);
-  if (it == copies_by_process.end()) return 0;
-  for (int idx : it->second) {
-    latest = std::max(latest, copies[static_cast<std::size_t>(idx)].finish);
+  for (int i = first_copy[static_cast<std::size_t>(p.get())];
+       i < first_copy[static_cast<std::size_t>(p.get()) + 1]; ++i) {
+    latest = std::max(latest, copies[static_cast<std::size_t>(i)].finish);
   }
   return latest;
 }
@@ -64,194 +71,594 @@ struct CopyVertex {
   Time release = 0;
 };
 
-}  // namespace
-
-ListSchedule list_schedule(const Application& app, const Architecture& arch,
-                           const PolicyAssignment& assignment) {
-  if (assignment.process_count() != app.process_count()) {
-    throw std::invalid_argument("assignment size mismatch");
+/// Min order of the ready queue: earliest start, then highest partial
+/// critical path rank, then lowest vertex id -- the exact pick of the
+/// historical linear ready-scan.
+struct ReadyLess {
+  bool operator()(const ReadyEntry& a, const ReadyEntry& b) const {
+    if (a.start != b.start) return a.start < b.start;
+    if (a.rank != b.rank) return a.rank > b.rank;
+    return a.vertex < b.vertex;
   }
+};
 
-  // ---- Vertices: every copy of every process ----------------------------
-  std::vector<CopyVertex> verts;
-  std::map<std::pair<std::int32_t, int>, int> vert_of;  // (pid, copy) -> idx
-  for (int i = 0; i < app.process_count(); ++i) {
-    const ProcessId pid{i};
-    const ProcessPlan& plan = assignment.plan(pid);
-    if (plan.copies.empty()) throw std::invalid_argument("plan without copies");
-    for (int j = 0; j < plan.copy_count(); ++j) {
-      const CopyPlan& copy = plan.copies[static_cast<std::size_t>(j)];
-      if (!copy.node.valid()) throw std::invalid_argument("unmapped copy");
-      CopyVertex v;
-      v.ref = CopyRef{pid, j};
-      v.node = copy.node;
-      v.duration = fault_free_duration(app, copy, pid);
-      v.release = app.process(pid).release;
-      vert_of[{pid.get(), j}] = static_cast<int>(verts.size());
-      verts.push_back(v);
+/// Min order of the pending-transmission queue: earliest ready, then lowest
+/// message id, then enqueue order -- the historical linear minimum search.
+struct TxLess {
+  bool operator()(const TxEntry& a, const TxEntry& b) const {
+    if (a.ready != b.ready) return a.ready < b.ready;
+    if (a.msg != b.msg) return a.msg < b.msg;
+    return a.seq < b.seq;
+  }
+};
+
+/// One list-scheduling run: static problem data (copy vertices, precedence
+/// graph, priorities) plus the dynamic event-loop state.  The dynamic state
+/// either starts fresh (full build) or is restored from a base run's
+/// ScheduleSnapshot with the moved process's vertices re-derived (resume).
+class Scheduler {
+ public:
+  Scheduler(const Application& app, const Architecture& arch,
+            const PolicyAssignment& assignment)
+      : app_(app), arch_(arch), assignment_(assignment) {}
+
+  // ---- static problem data ---------------------------------------------
+
+  void build_static() {
+    if (assignment_.process_count() != app_.process_count()) {
+      throw std::invalid_argument("assignment size mismatch");
     }
-  }
-
-  // ---- Copy-level precedence graph (producer copy -> consumer copy) -----
-  Digraph g(static_cast<int>(verts.size()));
-  for (const Message& m : app.messages()) {
-    const ProcessPlan& sp = assignment.plan(m.src);
-    const ProcessPlan& dp = assignment.plan(m.dst);
-    for (int sj = 0; sj < sp.copy_count(); ++sj) {
-      for (int dj = 0; dj < dp.copy_count(); ++dj) {
-        g.add_edge(vert_of.at({m.src.get(), sj}), vert_of.at({m.dst.get(), dj}));
+    first_copy.assign(static_cast<std::size_t>(app_.process_count()) + 1, 0);
+    for (int i = 0; i < app_.process_count(); ++i) {
+      const ProcessId pid{i};
+      const ProcessPlan& plan = assignment_.plan(pid);
+      if (plan.copies.empty()) {
+        throw std::invalid_argument("plan without copies");
+      }
+      first_copy[static_cast<std::size_t>(i) + 1] =
+          first_copy[static_cast<std::size_t>(i)] + plan.copy_count();
+      for (int j = 0; j < plan.copy_count(); ++j) {
+        const CopyPlan& copy = plan.copies[static_cast<std::size_t>(j)];
+        if (!copy.node.valid()) throw std::invalid_argument("unmapped copy");
+        CopyVertex v;
+        v.ref = CopyRef{pid, j};
+        v.node = copy.node;
+        v.duration = fault_free_duration(app_, copy, pid);
+        v.release = app_.process(pid).release;
+        verts.push_back(v);
       }
     }
+
+    // Copy-level precedence graph (producer copy -> consumer copy).
+    g = Digraph(static_cast<int>(verts.size()));
+    for (const Message& m : app_.messages()) {
+      const ProcessPlan& sp = assignment_.plan(m.src);
+      const ProcessPlan& dp = assignment_.plan(m.dst);
+      for (int sj = 0; sj < sp.copy_count(); ++sj) {
+        for (int dj = 0; dj < dp.copy_count(); ++dj) {
+          g.add_edge(vertex_of(m.src, sj), vertex_of(m.dst, dj));
+        }
+      }
+    }
+
+    // Priorities: partial critical path (durations + worst-case bus).
+    rank = g.critical_path_from([&](int v) {
+      // Approximate communication by the worst-case bus duration of the
+      // process's heaviest outgoing message; exact slot timing is resolved
+      // during the actual placement below.
+      const CopyVertex& cv = verts[static_cast<std::size_t>(v)];
+      Time comm = 0;
+      for (MessageId mid : app_.outputs(cv.ref.process)) {
+        comm = std::max(comm, arch_.bus().worst_case_duration(
+                                  cv.node, app_.message(mid).size));
+      }
+      return cv.duration + comm;
+    });
   }
 
-  // ---- Priorities: partial critical path (durations + worst-case bus) ---
-  const std::vector<Time> rank = g.critical_path_from([&](int v) {
-    // Approximate communication by the worst-case bus duration of the
-    // process's heaviest outgoing message; exact slot timing is resolved
-    // during the actual placement below.
-    const CopyVertex& cv = verts[static_cast<std::size_t>(v)];
-    Time comm = 0;
-    for (MessageId mid : app.outputs(cv.ref.process)) {
-      comm = std::max(
-          comm, arch.bus().worst_case_duration(cv.node, app.message(mid).size));
-    }
-    return cv.duration + comm;
-  });
-
-  // ---- List scheduling ---------------------------------------------------
-  ListSchedule result;
-  result.copies.resize(verts.size());
-  result.node_order.resize(static_cast<std::size_t>(arch.node_count()));
-  std::vector<Time> node_free(static_cast<std::size_t>(arch.node_count()), 0);
-  Time bus_free = 0;
-
-  std::vector<bool> placed(verts.size(), false);
-  std::vector<int> deps_left(verts.size(), 0);
-  for (std::size_t v = 0; v < verts.size(); ++v) {
-    deps_left[v] = static_cast<int>(g.predecessors(static_cast<int>(v)).size());
+  [[nodiscard]] int vertex_of(ProcessId p, int copy) const {
+    return first_copy[static_cast<std::size_t>(p.get())] + copy;
   }
-  // data_ready[v]: max over placed producers of their delivery time to v.
-  std::vector<Time> data_ready(verts.size(), 0);
 
-  // Transmissions pending placement, sorted by (ready, msg id, copy).
-  struct PendingTx {
-    Time ready;
-    MessageId msg;
-    int src_copy;
-    NodeId sender;
-  };
-  std::vector<PendingTx> pending_tx;
-
-  auto deliver = [&](const Message& m, int src_vertex, Time delivery) {
-    // Producer copy src delivered message m at `delivery` to all consumer
-    // copies: update their readiness and dependency counters.
-    const ProcessPlan& dp = assignment.plan(m.dst);
-    for (int dj = 0; dj < dp.copy_count(); ++dj) {
-      const int dv = vert_of.at({m.dst.get(), dj});
-      data_ready[static_cast<std::size_t>(dv)] =
-          std::max(data_ready[static_cast<std::size_t>(dv)], delivery);
-      --deps_left[static_cast<std::size_t>(dv)];
+  /// Exact event count of a full run: every copy placement plus one bus
+  /// transmission per (cross-node message, producer copy).
+  [[nodiscard]] std::size_t total_events() const {
+    std::size_t tx = 0;
+    for (const Message& m : app_.messages()) {
+      const ProcessPlan& sp = assignment_.plan(m.src);
+      const ProcessPlan& dp = assignment_.plan(m.dst);
+      for (const CopyPlan& s : sp.copies) {
+        for (const CopyPlan& d : dp.copies) {
+          if (d.node != s.node) {
+            ++tx;
+            break;
+          }
+        }
+      }
     }
-    (void)src_vertex;
-  };
+    return verts.size() + tx;
+  }
 
-  std::size_t remaining = verts.size();
-  while (remaining > 0) {
-    // Place any transmission that is ready no later than the earliest
-    // startable copy, to keep the bus FIFO in ready order.
-    Time best_start = kTimeInfinity;
-    int best_vertex = -1;
+  // ---- dynamic state ----------------------------------------------------
+
+  void init_dynamic() {
+    result.copies.assign(verts.size(), ScheduledCopy{});
+    result.first_copy = first_copy;
+    result.node_order.assign(static_cast<std::size_t>(arch_.node_count()), {});
+    node_free.assign(static_cast<std::size_t>(arch_.node_count()), 0);
+    placed.assign(verts.size(), 0);
+    data_ready.assign(verts.size(), 0);
+    deps_left.assign(verts.size(), 0);
     for (std::size_t v = 0; v < verts.size(); ++v) {
-      if (placed[v] || deps_left[v] > 0) continue;
-      const CopyVertex& cv = verts[v];
-      const Time start =
-          std::max({data_ready[v], cv.release,
-                    node_free[static_cast<std::size_t>(cv.node.get())]});
-      if (start < best_start ||
-          (start == best_start &&
-           rank[static_cast<std::size_t>(best_vertex)] <
-               rank[v])) {
-        best_start = start;
-        best_vertex = static_cast<int>(v);
+      deps_left[v] =
+          static_cast<int>(g.predecessors(static_cast<int>(v)).size());
+    }
+    remaining = verts.size();
+    if (log) {
+      log->snapshots.clear();
+      log->avail_event.assign(verts.size(), 0);
+      log->placed_event.assign(verts.size(), 0);
+      log->ties.clear();
+      log->rank = rank;
+    }
+    for (std::size_t v = 0; v < verts.size(); ++v) {
+      if (deps_left[v] == 0) {
+        ready.push(ReadyEntry{start_of(static_cast<int>(v)),
+                              rank[v], static_cast<int>(v)});
       }
     }
+  }
 
-    Time earliest_tx = kTimeInfinity;
-    std::size_t tx_index = pending_tx.size();
-    for (std::size_t t = 0; t < pending_tx.size(); ++t) {
-      if (pending_tx[t].ready < earliest_tx ||
-          (pending_tx[t].ready == earliest_tx &&
-           tx_index < pending_tx.size() &&
-           pending_tx[t].msg < pending_tx[tx_index].msg)) {
-        earliest_tx = pending_tx[t].ready;
-        tx_index = t;
+  [[nodiscard]] Time start_of(int v) const {
+    const CopyVertex& cv = verts[static_cast<std::size_t>(v)];
+    return std::max({data_ready[static_cast<std::size_t>(v)], cv.release,
+                     node_free[static_cast<std::size_t>(cv.node.get())]});
+  }
+
+  // ---- event loop -------------------------------------------------------
+
+  ListSchedule run() {
+    while (remaining > 0) {
+      if (log && event % static_cast<std::size_t>(log->snapshot_interval) == 0) {
+        take_snapshot();
       }
+
+      // Best startable copy: pop stale ready entries (a vertex's true start
+      // only grows, so an entry whose key matches its recomputed start is
+      // the true minimum under ReadyLess -- see docs/ARCHITECTURE.md).
+      int best_vertex = -1;
+      Time best_start = kTimeInfinity;
+      while (!ready.empty()) {
+        const ReadyEntry top = ready.top();
+        const Time now = start_of(top.vertex);
+        if (now != top.start) {
+          ready.pop();
+          ++heap_pops;
+          ready.push(ReadyEntry{now, top.rank, top.vertex});
+          continue;
+        }
+        best_vertex = top.vertex;
+        best_start = top.start;
+        break;
+      }
+
+      // A transmission ready no later than the earliest startable copy is
+      // committed first, keeping the bus FIFO in ready order.
+      if (!txq.empty() && (best_vertex < 0 || txq.top().ready <= best_start)) {
+        const TxEntry tx = txq.top();
+        txq.pop();
+        ++heap_pops;
+        commit_tx(tx);
+      } else if (best_vertex < 0) {
+        throw std::logic_error("list scheduler deadlock (cyclic copy graph?)");
+      } else {
+        ready.pop();
+        ++heap_pops;
+        if (log) record_start_ties(best_vertex, best_start);
+        commit_copy(best_vertex, best_start);
+      }
+      ++event;
     }
 
-    if (tx_index < pending_tx.size() &&
-        (best_vertex < 0 || earliest_tx <= best_start)) {
-      // Commit the transmission.
-      const PendingTx tx = pending_tx[tx_index];
-      pending_tx.erase(pending_tx.begin() +
-                       static_cast<std::ptrdiff_t>(tx_index));
-      const Message& m = app.message(tx.msg);
-      const Time ready = std::max(tx.ready, bus_free);
-      const Time start = arch.bus().next_slot_start(tx.sender, ready);
-      const Time finish =
-          arch.bus().transmission_finish(tx.sender, ready, m.size);
-      bus_free = finish;
-      ScheduledMessage sm{tx.msg, tx.src_copy, tx.sender, tx.ready, start,
-                          finish};
-      result.bus_order.push_back(static_cast<int>(result.messages.size()));
-      result.messages.push_back(sm);
-      const int sv = vert_of.at({m.src.get(), tx.src_copy});
-      deliver(m, sv, finish);
-      continue;
+    // Bus finish may exceed the last copy finish; the cycle ends when all
+    // activity (including transmissions) completed.
+    for (const ScheduledMessage& m : result.messages) {
+      result.makespan = std::max(result.makespan, m.finish);
     }
+    if (log) log->event_count = event;
+    return std::move(result);
+  }
 
-    if (best_vertex < 0) {
-      throw std::logic_error("list scheduler deadlock (cyclic copy graph?)");
-    }
-
-    // Commit the copy.
-    const std::size_t v = static_cast<std::size_t>(best_vertex);
-    const CopyVertex& cv = verts[v];
+  void commit_copy(int v, Time start) {
+    const CopyVertex& cv = verts[static_cast<std::size_t>(v)];
     ScheduledCopy sc;
     sc.ref = cv.ref;
     sc.node = cv.node;
-    sc.start = best_start;
-    sc.finish = best_start + cv.duration;
-    result.copies[v] = sc;
-    placed[v] = true;
+    sc.start = start;
+    sc.finish = start + cv.duration;
+    result.copies[static_cast<std::size_t>(v)] = sc;
+    placed[static_cast<std::size_t>(v)] = 1;
     --remaining;
     node_free[static_cast<std::size_t>(cv.node.get())] = sc.finish;
-    result.node_order[static_cast<std::size_t>(cv.node.get())].push_back(
-        static_cast<int>(v));
+    result.node_order[static_cast<std::size_t>(cv.node.get())].push_back(v);
     result.makespan = std::max(result.makespan, sc.finish);
-    result.copies_by_process[cv.ref.process].push_back(static_cast<int>(v));
+    if (log) log->placed_event[static_cast<std::size_t>(v)] = event;
 
     // Emit deliveries / enqueue transmissions for outgoing messages.
-    for (MessageId mid : app.outputs(cv.ref.process)) {
-      const Message& m = app.message(mid);
-      const ProcessPlan& dp = assignment.plan(m.dst);
+    for (MessageId mid : app_.outputs(cv.ref.process)) {
+      const Message& m = app_.message(mid);
+      const ProcessPlan& dp = assignment_.plan(m.dst);
       bool cross_node = false;
       for (const CopyPlan& d : dp.copies) {
         if (d.node != cv.node) cross_node = true;
       }
       if (cross_node) {
-        pending_tx.push_back(PendingTx{sc.finish, mid, cv.ref.copy, cv.node});
+        txq.push(TxEntry{sc.finish, mid.get(), tx_seq++, cv.ref.copy,
+                         cv.node});
       } else {
-        deliver(m, best_vertex, sc.finish);
+        deliver(m, sc.finish);
       }
     }
   }
 
-  // Bus finish may exceed the last copy finish; the cycle ends when all
-  // activity (including transmissions) completed.
-  for (const ScheduledMessage& m : result.messages) {
-    result.makespan = std::max(result.makespan, m.finish);
+  void commit_tx(const TxEntry& tx) {
+    const Message& m = app_.message(MessageId{tx.msg});
+    const Time ready_at = std::max(tx.ready, bus_free);
+    const Time start = arch_.bus().next_slot_start(tx.sender, ready_at);
+    const Time finish =
+        arch_.bus().transmission_finish(tx.sender, ready_at, m.size);
+    bus_free = finish;
+    result.bus_order.push_back(static_cast<int>(result.messages.size()));
+    result.messages.push_back(
+        ScheduledMessage{MessageId{tx.msg}, tx.src_copy, tx.sender, tx.ready,
+                         start, finish});
+    deliver(m, finish);
   }
-  return result;
+
+  /// Producer delivered message m at `delivery` to all consumer copies:
+  /// update their readiness and dependency counters; a copy whose last
+  /// dependency resolved joins the ready queue.
+  void deliver(const Message& m, Time delivery) {
+    const ProcessPlan& dp = assignment_.plan(m.dst);
+    for (int dj = 0; dj < dp.copy_count(); ++dj) {
+      const int dv = vertex_of(m.dst, dj);
+      data_ready[static_cast<std::size_t>(dv)] =
+          std::max(data_ready[static_cast<std::size_t>(dv)], delivery);
+      if (--deps_left[static_cast<std::size_t>(dv)] == 0) {
+        if (log) log->avail_event[static_cast<std::size_t>(dv)] = event + 1;
+        ready.push(ReadyEntry{start_of(dv),
+                              rank[static_cast<std::size_t>(dv)], dv});
+      }
+    }
+  }
+
+  /// Called (log builds only) after popping the winning copy but before
+  /// committing it: every other ready vertex whose true start equals the
+  /// winner's participates in a rank-broken tie at this event.  Stale
+  /// entries encountered on the way are refreshed, never dropped.
+  void record_start_ties(int winner, Time start) {
+    std::vector<ReadyEntry> tied;
+    while (!ready.empty()) {
+      const ReadyEntry top = ready.top();
+      const Time now = start_of(top.vertex);
+      if (now != top.start) {
+        ready.pop();
+        ready.push(ReadyEntry{now, top.rank, top.vertex});
+        continue;
+      }
+      if (top.start != start) break;  // fresh minimum past the winner's start
+      tied.push_back(top);
+      ready.pop();
+    }
+    if (!tied.empty()) {
+      ScheduleCheckpointLog::StartTie tie;
+      tie.event = event;
+      tie.winner = winner;
+      tie.contenders.push_back(winner);
+      for (const ReadyEntry& e : tied) {
+        tie.contenders.push_back(e.vertex);
+        ready.push(e);
+      }
+      log->ties.push_back(std::move(tie));
+    }
+  }
+
+  void take_snapshot() {
+    ScheduleSnapshot s;
+    s.event_index = event;
+    s.remaining = remaining;
+    s.bus_free = bus_free;
+    s.tx_seq = tx_seq;
+    s.node_free = node_free;
+    s.placed = placed;
+    s.deps_left = deps_left;
+    s.data_ready = data_ready;
+    s.ready_heap = ready.items();
+    s.tx_heap = txq.items();
+    s.partial = result;
+    log->snapshots.push_back(std::move(s));
+  }
+
+  const Application& app_;
+  const Architecture& arch_;
+  const PolicyAssignment& assignment_;
+
+  // Static problem data.
+  std::vector<CopyVertex> verts;
+  std::vector<int> first_copy;
+  Digraph g;
+  std::vector<Time> rank;
+
+  // Dynamic event-loop state.
+  ListSchedule result;
+  std::vector<char> placed;
+  std::vector<int> deps_left;
+  std::vector<Time> data_ready;
+  std::vector<Time> node_free;
+  Time bus_free = 0;
+  BinaryMinHeap<ReadyEntry, ReadyLess> ready;
+  BinaryMinHeap<TxEntry, TxLess> txq;
+  int tx_seq = 0;
+  std::size_t remaining = 0;
+  std::size_t event = 0;
+  std::size_t heap_pops = 0;
+
+  ScheduleCheckpointLog* log = nullptr;
+};
+
+ListSchedule build_schedule(const Application& app, const Architecture& arch,
+                            const PolicyAssignment& assignment,
+                            ScheduleCheckpointLog* log, int snapshot_interval,
+                            std::size_t* heap_pops) {
+  Scheduler s(app, arch, assignment);
+  s.build_static();
+  if (log) {
+    if (snapshot_interval <= 0) {
+      snapshot_interval = std::max(
+          1, static_cast<int>(std::llround(
+                 std::sqrt(static_cast<double>(s.total_events())))));
+    }
+    log->snapshot_interval = snapshot_interval;
+    s.log = log;
+  }
+  s.init_dynamic();
+  ListSchedule out = s.run();
+  if (heap_pops) *heap_pops += s.heap_pops;
+  return out;
+}
+
+}  // namespace
+
+ListSchedule list_schedule(const Application& app, const Architecture& arch,
+                           const PolicyAssignment& assignment) {
+  return build_schedule(app, arch, assignment, nullptr, 0, nullptr);
+}
+
+ListSchedule list_schedule(const Application& app, const Architecture& arch,
+                           const PolicyAssignment& assignment,
+                           ScheduleCheckpointLog& log, int snapshot_interval) {
+  return build_schedule(app, arch, assignment, &log, snapshot_interval,
+                        nullptr);
+}
+
+ListSchedule list_schedule_resume(const Application& app,
+                                  const Architecture& arch,
+                                  const PolicyAssignment& base,
+                                  const ScheduleCheckpointLog& log,
+                                  const PolicyAssignment& candidate,
+                                  ProcessId moved,
+                                  ListScheduleResumeStats* stats) {
+  ListScheduleResumeStats local;
+  Scheduler s(app, arch, candidate);
+  s.build_static();
+
+  // Base-side vertex layout (the log's event indices are per base vertex).
+  std::vector<int> base_first(static_cast<std::size_t>(app.process_count()) + 1,
+                              0);
+  for (int i = 0; i < app.process_count(); ++i) {
+    base_first[static_cast<std::size_t>(i) + 1] =
+        base_first[static_cast<std::size_t>(i)] +
+        base.plan(ProcessId{i}).copy_count();
+  }
+  const std::int32_t p = moved.get();
+  const int base_first_p = base_first[static_cast<std::size_t>(p)];
+  const int base_p_count = base.plan(moved).copy_count();
+  const int base_p_end = base_first_p + base_p_count;
+  const int cand_p_count = candidate.plan(moved).copy_count();
+  const int delta = cand_p_count - base_p_count;
+
+  // ---- first affected event --------------------------------------------
+  //
+  // The candidate run provably coincides with the base run up to (not
+  // including) `limit`:
+  //   * the moved process's copies cannot be selected before they are
+  //     ready (avail_event; their readiness index is move-invariant
+  //     because it is produced by unaffected producer deliveries),
+  //   * a producer placement whose inbound-to-moved message flips between
+  //     local delivery and a bus transmission behaves differently, so it
+  //     must be replayed (placed_event),
+  //   * a vertex whose priority rank changed (every ancestor of the moved
+  //     process, typically) can win or lose start-time ties -- but ranks
+  //     decide *only* such ties, and ready-queue entries are transplanted
+  //     with the candidate's ranks below, so the resume point only has to
+  //     precede the vertex's first recorded tie, not its readiness.
+  // Everything else depends only on data the move does not touch.
+  std::size_t limit = log.event_count;
+  for (int j = 0; j < base_p_count; ++j) {
+    limit = std::min(limit,
+                     log.avail_event[static_cast<std::size_t>(base_first_p + j)]);
+  }
+  for (MessageId mid : app.inputs(moved)) {
+    const Message& m = app.message(mid);
+    const ProcessPlan& sp = base.plan(m.src);
+    const ProcessPlan& base_dp = base.plan(moved);
+    const ProcessPlan& cand_dp = candidate.plan(moved);
+    for (int sj = 0; sj < sp.copy_count(); ++sj) {
+      const NodeId sn = sp.copies[static_cast<std::size_t>(sj)].node;
+      bool cross_base = false;
+      for (const CopyPlan& d : base_dp.copies) {
+        if (d.node != sn) cross_base = true;
+      }
+      bool cross_cand = false;
+      for (const CopyPlan& d : cand_dp.copies) {
+        if (d.node != sn) cross_cand = true;
+      }
+      if (cross_base != cross_cand) {
+        limit = std::min(
+            limit, log.placed_event[static_cast<std::size_t>(
+                       base_first[static_cast<std::size_t>(m.src.get())] + sj)]);
+      }
+    }
+  }
+  // Re-judge every recorded start-time tie with the candidate's ranks (in
+  // event order; ties at or past the current limit are replayed anyway).
+  // The prefix before a tie is identical by induction, so the tie's
+  // contender set is identical too -- only the rank-based pick can differ.
+  for (const ScheduleCheckpointLog::StartTie& tie : log.ties) {
+    if (tie.event >= limit) break;
+    int best = -1;
+    Time best_rank = 0;
+    bool involves_moved = false;
+    for (const int bv : tie.contenders) {
+      if (bv >= base_first_p && bv < base_p_end) {
+        // Unreachable while limit <= the moved process's readiness, but be
+        // conservative if it ever is.
+        involves_moved = true;
+        break;
+      }
+      const int cv = bv < base_first_p ? bv : bv + delta;
+      const Time r = s.rank[static_cast<std::size_t>(cv)];
+      // Same pick rule as the ready queue: max rank, then min vertex id
+      // (remapping preserves the relative id order of non-moved vertices).
+      if (best < 0 || r > best_rank || (r == best_rank && cv < best)) {
+        best = cv;
+        best_rank = r;
+      }
+    }
+    const int base_winner_cand =
+        tie.winner < base_first_p ? tie.winner : tie.winner + delta;
+    if (involves_moved || best != base_winner_cand) {
+      limit = tie.event;
+      break;
+    }
+  }
+
+  // ---- nearest usable snapshot -----------------------------------------
+  const ScheduleSnapshot* snap = nullptr;
+  for (auto it = log.snapshots.rbegin(); it != log.snapshots.rend(); ++it) {
+    if (it->event_index <= limit) {
+      snap = &*it;
+      break;
+    }
+  }
+
+  if (!snap || snap->event_index == 0) {
+    s.init_dynamic();
+  } else {
+    // ---- transplant the snapshot into the candidate's vertex space ------
+    const std::size_t cand_total = s.verts.size();
+    const auto remap = [&](int bv) {
+      assert(bv < base_first_p || bv >= base_p_end);
+      return bv < base_first_p ? bv : bv + delta;
+    };
+
+    s.result.copies.assign(cand_total, ScheduledCopy{});
+    s.result.first_copy = s.first_copy;
+    s.result.node_order.assign(static_cast<std::size_t>(arch.node_count()),
+                               {});
+    for (std::size_t n = 0; n < snap->partial.node_order.size(); ++n) {
+      for (int v : snap->partial.node_order[n]) {
+        s.result.node_order[n].push_back(remap(v));
+      }
+    }
+    s.result.messages = snap->partial.messages;
+    s.result.bus_order = snap->partial.bus_order;
+    s.result.makespan = snap->partial.makespan;
+
+    s.placed.assign(cand_total, 0);
+    s.deps_left.assign(cand_total, 0);
+    s.data_ready.assign(cand_total, 0);
+    const int base_total = static_cast<int>(log.avail_event.size());
+    for (int bv = 0; bv < base_total; ++bv) {
+      if (bv >= base_first_p && bv < base_p_end) {
+        // The moved process is untouched before the resume point.
+        assert(!snap->placed[static_cast<std::size_t>(bv)]);
+        continue;
+      }
+      const std::size_t cv = static_cast<std::size_t>(remap(bv));
+      s.placed[cv] = snap->placed[static_cast<std::size_t>(bv)];
+      if (s.placed[cv]) {
+        s.result.copies[cv] =
+            snap->partial.copies[static_cast<std::size_t>(bv)];
+      }
+      s.deps_left[cv] = snap->deps_left[static_cast<std::size_t>(bv)];
+      s.data_ready[cv] = snap->data_ready[static_cast<std::size_t>(bv)];
+    }
+    // Consumers of the moved process count one dependency per producer
+    // copy; no deliveries from the moved process happened yet.
+    if (delta != 0) {
+      for (MessageId mid : app.outputs(moved)) {
+        const Message& m = app.message(mid);
+        const int count = candidate.plan(m.dst).copy_count();
+        for (int dj = 0; dj < count; ++dj) {
+          s.deps_left[static_cast<std::size_t>(s.vertex_of(m.dst, dj))] +=
+              delta;
+        }
+      }
+    }
+    // All copies of one process share (deps_left, data_ready): deliveries
+    // broadcast to every copy and the predecessor count is independent of
+    // the process's own plan.  Seed the candidate's copies from base copy 0.
+    const int shared_deps =
+        snap->deps_left[static_cast<std::size_t>(base_first_p)];
+    const Time shared_ready =
+        snap->data_ready[static_cast<std::size_t>(base_first_p)];
+    for (int j = 0; j < cand_p_count; ++j) {
+      const std::size_t cv = static_cast<std::size_t>(s.vertex_of(moved, j));
+      s.deps_left[cv] = shared_deps;
+      s.data_ready[cv] = shared_ready;
+    }
+
+    s.node_free = snap->node_free;
+    s.bus_free = snap->bus_free;
+    s.tx_seq = snap->tx_seq;
+    s.remaining = snap->remaining + static_cast<std::size_t>(delta);
+    s.event = snap->event_index;
+
+    // Ready queue: keep unaffected entries' start keys (move-invariant) but
+    // stamp each with the *candidate's* rank -- a rank change only breaks
+    // future ties, which the resume-point bound already guarantees did not
+    // occur in the kept prefix -- and re-derive the moved process's entries
+    // with the candidate's mapping and rank.
+    std::vector<ReadyEntry> entries;
+    entries.reserve(snap->ready_heap.size() +
+                    static_cast<std::size_t>(cand_p_count));
+    for (const ReadyEntry& e : snap->ready_heap) {
+      if (e.vertex >= base_first_p && e.vertex < base_p_end) continue;
+      const int cv = remap(e.vertex);
+      entries.push_back(
+          ReadyEntry{e.start, s.rank[static_cast<std::size_t>(cv)], cv});
+    }
+    if (shared_deps == 0) {
+      for (int j = 0; j < cand_p_count; ++j) {
+        const int cv = s.vertex_of(moved, j);
+        entries.push_back(ReadyEntry{
+            s.start_of(cv), s.rank[static_cast<std::size_t>(cv)], cv});
+      }
+    }
+    s.ready.assign(std::move(entries));
+    s.txq.assign(snap->tx_heap);
+
+    local.resumed = true;
+    local.events_resumed = snap->event_index;
+  }
+
+  ListSchedule out = s.run();
+  local.events_total = s.event;
+  local.events_replayed = s.event - local.events_resumed;
+  local.heap_pops = s.heap_pops;
+  if (stats) *stats = local;
+  return out;
 }
 
 }  // namespace ftes

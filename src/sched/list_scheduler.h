@@ -9,9 +9,22 @@
 // wcsl.h.  The same scheduler with a trivial one-copy no-overhead
 // assignment produces the non-fault-tolerant baseline schedule used in the
 // paper's FTO metric.
+//
+// Incremental scheduling.  The optimizers evaluate thousands of candidate
+// assignments per run, each differing from an incumbent in a single process
+// plan.  A full build can therefore record a ScheduleCheckpointLog --
+// per-vertex readiness/placement event indices plus full scheduler-state
+// snapshots at a fixed event interval (O(sqrt(E)) by default) -- and
+// list_schedule_resume() replays a candidate from the last snapshot that
+// provably precedes any placement the move can affect.  The resumed
+// schedule is bit-identical to a from-scratch build by construction: the
+// prefix before the resume point is proven unaffected (readiness of the
+// moved process's copies, priority-rank diffs, and local<->bus flips of its
+// inbound messages all bound the resume point), and the suffix is replayed
+// with the candidate's own data.  See docs/ARCHITECTURE.md.
 #pragma once
 
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
 #include "app/application.h"
@@ -43,20 +56,100 @@ struct ScheduledMessage {
 };
 
 struct ListSchedule {
+  /// Indexed by copy vertex id: vertex of copy j of process p is
+  /// `first_copy[p] + j` (copies of one process are contiguous).
   std::vector<ScheduledCopy> copies;
-  std::vector<ScheduledMessage> messages;
+  std::vector<ScheduledMessage> messages;  ///< in bus commit order
   /// Static order per node: indices into `copies`, ascending start.
   std::vector<std::vector<int>> node_order;
   /// Static bus order: indices into `messages`, ascending start.
   std::vector<int> bus_order;
   Time makespan = 0;
+  /// Per-process prefix offsets into `copies` (size process_count + 1).
+  std::vector<int> first_copy;
 
-  /// Index into `copies` for a given copy; -1 if absent.
+  /// Index into `copies` for a given copy; -1 if absent.  O(1) via the
+  /// prefix offsets (the scheduler places copies in vertex-id order).
   [[nodiscard]] int copy_index(CopyRef ref) const;
   /// Fault-free finish time of the latest copy of a process.
   [[nodiscard]] Time process_finish(ProcessId p) const;
+};
 
-  std::unordered_map<ProcessId, std::vector<int>> copies_by_process;
+/// Ready-queue entry: an unplaced copy vertex whose dependencies are all
+/// delivered.  Ordered by (earliest start, priority rank descending, vertex
+/// id) -- exactly the tie-breaking of the historical linear ready-scan.
+/// Keys are refreshed lazily: a vertex's true start only grows (node-free
+/// and data-ready times are monotone), so an entry whose key still matches
+/// its recomputed start is the global minimum.
+struct ReadyEntry {
+  Time start = 0;
+  Time rank = 0;
+  int vertex = -1;
+};
+
+/// Pending-transmission entry, ordered by (ready, message id, enqueue
+/// sequence) -- the historical FIFO-in-ready-order bus policy.
+struct TxEntry {
+  Time ready = 0;
+  std::int32_t msg = -1;
+  int seq = 0;
+  int src_copy = 0;
+  NodeId sender;
+};
+
+/// Full scheduler state between two placement events, restorable into a
+/// resumed run (possibly with the moved process's vertex ids remapped).
+struct ScheduleSnapshot {
+  std::size_t event_index = 0;  ///< events committed before this state
+  std::size_t remaining = 0;    ///< copies still unplaced
+  Time bus_free = 0;
+  int tx_seq = 0;
+  std::vector<Time> node_free;
+  std::vector<char> placed;
+  std::vector<int> deps_left;
+  std::vector<Time> data_ready;
+  std::vector<ReadyEntry> ready_heap;  ///< heap storage (order-free: total key)
+  std::vector<TxEntry> tx_heap;
+  ListSchedule partial;  ///< copies/messages committed so far
+};
+
+/// Checkpoint log of one full build: snapshots plus the per-vertex event
+/// indices and priority ranks needed to bound a move's first affected
+/// placement.  An "event" is one committed copy or one committed bus
+/// transmission; a build has copies + transmissions events in total.
+struct ScheduleCheckpointLog {
+  int snapshot_interval = 0;    ///< events between snapshots (>= 1)
+  std::size_t event_count = 0;  ///< total events of the base build
+  std::vector<ScheduleSnapshot> snapshots;  ///< at events 0, I, 2I, ...
+  /// Per copy vertex: first event index whose selection could consider the
+  /// vertex (its dependencies completed strictly before that event).
+  std::vector<std::size_t> avail_event;
+  /// Per copy vertex: index of the event that placed it.
+  std::vector<std::size_t> placed_event;
+
+  /// One start-time tie of the ready queue: the selection fell back to the
+  /// priority ranks.  Ranks decide *only* such ties, so a move that changes
+  /// ranks (every ancestor of the moved process, typically) invalidates the
+  /// schedule prefix no earlier than the first recorded tie whose winner
+  /// changes when re-judged with the candidate's ranks.
+  struct StartTie {
+    std::size_t event = 0;
+    int winner = -1;             ///< the base build's pick
+    std::vector<int> contenders; ///< every vertex at the tied start (incl. winner)
+  };
+  std::vector<StartTie> ties;  ///< ascending by event
+
+  /// Per copy vertex: partial critical path priority of the base build.
+  std::vector<Time> rank;
+};
+
+/// Counters of one resumed (or attempted-resume) build.
+struct ListScheduleResumeStats {
+  bool resumed = false;             ///< a snapshot past event 0 was used
+  std::size_t events_total = 0;     ///< events of the candidate build
+  std::size_t events_resumed = 0;   ///< prefix events served by the snapshot
+  std::size_t events_replayed = 0;  ///< events actually executed
+  std::size_t heap_pops = 0;        ///< ready/tx heap pops during replay
 };
 
 /// Computes the fault-free list schedule.  `assignment` must be fully
@@ -65,6 +158,24 @@ struct ListSchedule {
 [[nodiscard]] ListSchedule list_schedule(const Application& app,
                                          const Architecture& arch,
                                          const PolicyAssignment& assignment);
+
+/// Same full build, additionally recording `log` for later resumes.
+/// `snapshot_interval` <= 0 picks round(sqrt(total events)).
+[[nodiscard]] ListSchedule list_schedule(const Application& app,
+                                         const Architecture& arch,
+                                         const PolicyAssignment& assignment,
+                                         ScheduleCheckpointLog& log,
+                                         int snapshot_interval = 0);
+
+/// Schedule of `candidate` (== `base` with process `moved`'s plan replaced),
+/// resumed from the nearest safe snapshot of `log` (recorded from `base`).
+/// Bit-identical to list_schedule(app, arch, candidate); falls back to a
+/// from-scratch build when no snapshot precedes the first affected event.
+[[nodiscard]] ListSchedule list_schedule_resume(
+    const Application& app, const Architecture& arch,
+    const PolicyAssignment& base, const ScheduleCheckpointLog& log,
+    const PolicyAssignment& candidate, ProcessId moved,
+    ListScheduleResumeStats* stats = nullptr);
 
 /// Fault-free duration of one copy under its plan (E(n,0) or C).
 [[nodiscard]] Time fault_free_duration(const Application& app,

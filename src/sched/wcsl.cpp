@@ -29,8 +29,10 @@ WcslDag build_wcsl_dag(const Application& app, const Architecture& arch,
   const int total = a.copy_count + a.msg_count;
   a.g = Digraph(total);
 
-  // Flat (process, copy) -> vertex lookup via per-process prefix offsets;
-  // this builder runs once per objective evaluation, so no std::map here.
+  // Copy vertices are prefix-indexed by construction of the list scheduler
+  // (copy j of process p sits at schedule.first_copy[p] + j), so the
+  // (process, copy) -> vertex lookup is pure arithmetic; this builder runs
+  // once per objective evaluation, so no maps and no scan here.
   std::vector<int> first_copy(
       static_cast<std::size_t>(app.process_count()) + 1, 0);
   for (int p = 0; p < app.process_count(); ++p) {
@@ -38,16 +40,8 @@ WcslDag build_wcsl_dag(const Application& app, const Architecture& arch,
         first_copy[static_cast<std::size_t>(p)] +
         assignment.plan(ProcessId{p}).copy_count();
   }
-  std::vector<int> copy_vertex(static_cast<std::size_t>(a.copy_count), -1);
-  for (int i = 0; i < a.copy_count; ++i) {
-    const ScheduledCopy& sc = schedule.copies[static_cast<std::size_t>(i)];
-    copy_vertex[static_cast<std::size_t>(
-        first_copy[static_cast<std::size_t>(sc.ref.process.get())] +
-        sc.ref.copy)] = i;
-  }
   const auto cv = [&](std::int32_t process, int copy) {
-    return copy_vertex[static_cast<std::size_t>(
-        first_copy[static_cast<std::size_t>(process)] + copy)];
+    return first_copy[static_cast<std::size_t>(process)] + copy;
   };
 
   // Data edges.  Cross-node messages go through their transmission vertex;
@@ -194,6 +188,27 @@ WcslResult make_result(const Application& app, const WcslDag& a) {
 }
 
 }  // namespace
+
+WcslResult wcsl_result_from_rows(const Application& app,
+                                 const ListSchedule& schedule,
+                                 const WcslDag& dag,
+                                 const std::vector<std::vector<Time>>& L,
+                                 int k) {
+  WcslResult result = make_result(app, dag);
+  for (int v = 0; v < dag.g.vertex_count(); ++v) {
+    Time in_k = 0;
+    for (int p : dag.g.predecessors(v)) {
+      in_k = std::max(
+          in_k, L[static_cast<std::size_t>(p)][static_cast<std::size_t>(k)]);
+    }
+    const Time worst_start =
+        std::max(dag.release[static_cast<std::size_t>(v)], in_k);
+    const Time worst =
+        L[static_cast<std::size_t>(v)][static_cast<std::size_t>(k)];
+    fill_result_vertex(result, schedule, dag, v, worst_start, worst);
+  }
+  return result;
+}
 
 WcslResult worst_case_schedule_length(const Application& app,
                                       const Architecture& arch,

@@ -90,6 +90,14 @@ Time wcsl_dp_row(const WcslDag& dag, int v,
                  const std::vector<std::vector<Time>>& L, int k,
                  std::vector<Time>& row);
 
+/// Rebuilds the full analysis result from already-computed DP rows `L` (as
+/// filled by wcsl_dp_row over `dag` in topological order).  Used by the
+/// incremental evaluator (opt/eval_context.h) to serve a final
+/// evaluate_full() of the cached base entirely from its cached rows.
+[[nodiscard]] WcslResult wcsl_result_from_rows(
+    const Application& app, const ListSchedule& schedule, const WcslDag& dag,
+    const std::vector<std::vector<Time>>& L, int k);
+
 /// Budgeted longest-path analysis over an existing fault-free schedule.
 [[nodiscard]] WcslResult worst_case_schedule_length(
     const Application& app, const Architecture& arch,

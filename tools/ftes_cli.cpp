@@ -208,6 +208,11 @@ int main(int argc, char** argv) {
                   100.0 * static_cast<double>(m.cache_hits) /
                       static_cast<double>(rows));
     }
+    if (m.sched_events_total > 0) {
+      std::printf(" (%.1f%% placements resumed)",
+                  100.0 * static_cast<double>(m.sched_events_resumed) /
+                      static_cast<double>(m.sched_events_total));
+    }
     std::printf(";");
   }
   std::printf("\n");
