@@ -32,6 +32,7 @@ BatchTaskResult run_one(const BatchTask& task, const BatchOptions& options,
     const SynthesisResult result = pipeline.run(ctx);
     r.ok = true;
     r.schedulable = result.schedulable;
+    r.timed_out = result.timed_out;
     r.wcsl = result.wcsl.makespan;
     r.deadline = problem.app.deadline();
     r.evaluations = result.evaluations;
@@ -75,6 +76,7 @@ BatchReport run_batch(const std::vector<BatchTask>& tasks,
     } else if (r.schedulable) {
       ++report.schedulable_count;
     }
+    if (r.timed_out) ++report.timed_out_count;
   }
   report.seconds = watch.seconds();
   return report;
@@ -119,12 +121,17 @@ std::string format_batch_report(const BatchReport& report) {
       continue;
     }
     out << "wcsl " << r.wcsl << " / deadline " << r.deadline << "  "
-        << (r.schedulable ? "schedulable" : "NOT schedulable") << "  ("
-        << r.evaluations << " evals, seed " << r.seed << ")\n";
+        << (r.schedulable ? "schedulable" : "NOT schedulable")
+        << (r.timed_out ? "  TIMEOUT" : "") << "  (" << r.evaluations
+        << " evals, seed " << r.seed << ")\n";
   }
   out << "  -- " << report.results.size() << " tasks, "
       << report.schedulable_count << " schedulable, " << report.failed_count
-      << " failed\n";
+      << " failed";
+  if (report.timed_out_count > 0) {
+    out << ", " << report.timed_out_count << " timed out";
+  }
+  out << "\n";
   return out.str();
 }
 
@@ -142,6 +149,7 @@ std::string format_batch_report_json(const BatchReport& report) {
       json_escape(out, r.error);
     }
     out << ", \"schedulable\": " << (r.schedulable ? "true" : "false")
+        << ", \"timed_out\": " << (r.timed_out ? "true" : "false")
         << ", \"wcsl\": " << r.wcsl << ", \"deadline\": " << r.deadline
         << ", \"evaluations\": " << r.evaluations << ", \"seconds\": ";
     json_seconds(out, r.seconds);
@@ -152,6 +160,7 @@ std::string format_batch_report_json(const BatchReport& report) {
   out << "  ],\n  \"task_count\": " << report.results.size()
       << ",\n  \"schedulable_count\": " << report.schedulable_count
       << ",\n  \"failed_count\": " << report.failed_count
+      << ",\n  \"timed_out_count\": " << report.timed_out_count
       << ",\n  \"seconds\": ";
   json_seconds(out, report.seconds);
   out << "\n}\n";

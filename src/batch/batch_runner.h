@@ -50,6 +50,10 @@ struct BatchTaskResult {
   bool ok = false;          ///< synthesis ran (parse/model errors -> false)
   std::string error;        ///< failure reason when !ok
   bool schedulable = false;
+  /// The task's deadline watchdog fired (options.synthesis budgets): the
+  /// fields below describe the well-formed partial state at cancellation.
+  /// A timed-out task still counts as ok -- the sweep continues.
+  bool timed_out = false;
   Time wcsl = 0;
   Time deadline = 0;
   int evaluations = 0;
@@ -64,6 +68,7 @@ struct BatchReport {
   std::vector<BatchTaskResult> results;  ///< in task order
   int schedulable_count = 0;
   int failed_count = 0;                  ///< tasks with !ok
+  int timed_out_count = 0;               ///< tasks cut short by a budget
   double seconds = 0.0;                  ///< wall-clock of the whole batch
 };
 

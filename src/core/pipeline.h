@@ -13,19 +13,35 @@
 // typed SynthesisState and report structured StageMetrics (evaluations,
 // cache hits/misses, wall-clock) that serialize to JSON.
 //
+// Two scheduling modes sit on top of the stage list:
+//
+//   * Speculative stage execution (options.speculate): table generation
+//     for the refinement's incumbent starts in the background when the
+//     refinement starts, hiding table latency when refinement does not
+//     improve (SpeculationTask below; adoption is bit-identical to the
+//     serial pipeline, asserted at adoption time).
+//   * A deadline watchdog (options.stage_budget_ms / total_budget_ms):
+//     the pipeline arms wall-clock budgets on the run's CancellationToken;
+//     the stages' parallel chunk bodies poll it, so an expired budget
+//     cancels within one chunk of work and the pipeline returns a
+//     well-formed partial result with its StageMetrics marked timed_out.
+//
 // `synthesize()` (core/synthesis.h) is a thin wrapper over
 // Pipeline::default_pipeline() and produces bit-identical results.
 #pragma once
 
-#include <atomic>
+#include <condition_variable>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/synthesis.h"
 #include "opt/eval_context.h"
+#include "util/cancellation.h"
 
 namespace ftes {
 
@@ -44,6 +60,17 @@ struct StageMetrics {
   long long sched_events_resumed = 0;
   long long rebase_cache_hits = 0;  ///< rebases served by the move cache
   double seconds = 0.0;             ///< wall-clock of the stage
+  /// Speculative stage execution (SynthesisOptions::speculate): a hit
+  /// adopted the background result computed during refinement, a miss
+  /// discarded it (refinement improved, or the run was cancelled).
+  long long spec_hits = 0;
+  long long spec_misses = 0;
+  double spec_seconds = 0.0;  ///< wall-clock the speculative task spent
+  /// Deadline watchdog: the stage was cut short by a wall-clock budget;
+  /// cancel latency is how long it kept working past the cancellation
+  /// (bounded by one chunk of work between cancellation points).
+  bool timed_out = false;
+  double cancel_latency_seconds = 0.0;
 
   [[nodiscard]] std::string to_json() const;
 };
@@ -62,6 +89,8 @@ struct StageProgress {
 };
 using ProgressCallback = std::function<void(const StageProgress&)>;
 
+class SpeculationTask;
+
 /// The typed blackboard the stages read and write.
 struct SynthesisState {
   PolicyAssignment assignment;  ///< F and M (after the optimizer stages)
@@ -70,6 +99,10 @@ struct SynthesisState {
   std::optional<CondScheduleResult> schedule;  ///< S, if built
   bool schedulable = false;
   int evaluations = 0;          ///< objective evaluations, legacy counting
+  /// In-flight speculative table generation, launched by the pipeline when
+  /// the refinement stage starts and consumed (adopted or discarded) by
+  /// the schedule-table stage.
+  std::shared_ptr<SpeculationTask> speculation;
 };
 
 /// Shared per-run context: problem, options, pool, seed, progress and
@@ -103,13 +136,15 @@ class SynthesisContext {
 
   /// Cooperative cancellation: stages still to run are skipped, running
   /// optimizers return their best-so-far.  Callable from any thread (e.g.
-  /// a progress callback or a watchdog).
-  void request_cancel() { cancel_.store(true, std::memory_order_relaxed); }
-  [[nodiscard]] bool cancel_requested() const {
-    return cancel_.load(std::memory_order_relaxed);
-  }
-  [[nodiscard]] const std::atomic<bool>* cancel_flag() const {
-    return &cancel_;
+  /// a progress callback or a watchdog thread).
+  void request_cancel() { cancel_.request_cancel(); }
+  [[nodiscard]] bool cancel_requested() const { return cancel_.cancelled(); }
+  /// The run's cancellation token.  The pipeline arms the deadline
+  /// watchdog on it (options().stage_budget_ms / total_budget_ms) and the
+  /// stages hand it to the optimizers' and schedulers' chunk bodies.
+  [[nodiscard]] CancellationToken& cancel_token() { return cancel_; }
+  [[nodiscard]] const CancellationToken& cancel_token() const {
+    return cancel_;
   }
 
  private:
@@ -118,7 +153,7 @@ class SynthesisContext {
   SynthesisOptions options_;
   EvalContext eval_;
   ProgressCallback progress_;
-  std::atomic<bool> cancel_{false};
+  CancellationToken cancel_;
 };
 
 /// One synthesis stage.  Implementations read/write the SynthesisState and
@@ -130,6 +165,93 @@ class Stage {
   [[nodiscard]] virtual const char* name() const = 0;
   virtual void run(SynthesisContext& ctx, SynthesisState& state,
                    StageMetrics& metrics) = 0;
+  /// The stage only refines state.assignment in place: when speculation is
+  /// enabled the pipeline may start downstream table generation for the
+  /// incumbent while this stage runs.
+  [[nodiscard]] virtual bool refines_incumbent() const { return false; }
+  /// The stage consumes SynthesisState::speculation (adopting or
+  /// discarding it); the pipeline only launches speculation when such a
+  /// stage is still ahead.
+  [[nodiscard]] virtual bool consumes_speculation() const { return false; }
+};
+
+/// Speculative schedule-table generation (SynthesisOptions::speculate).
+///
+/// While CheckpointRefineStage iterates, the pipeline runs the
+/// ScheduleTableStage work for the refinement's *incumbent* assignment as
+/// a background task on the run's thread pool.  The task never touches
+/// the shared EvalContext -- it evaluates the full WCSL DP from scratch
+/// and builds tables through a private options copy -- so it is safe to
+/// run concurrently with the refinement.  Adoption rule: the consuming
+/// stage adopts the result iff refinement returned exactly the incumbent
+/// and the task's full-DP WCSL matches the evaluator's cached rows
+/// (asserting bit-identity with the serial pipeline); anything else
+/// discards it and rebuilds serially.
+class SpeculationTask {
+ public:
+  /// Snapshots `incumbent` and submits the work to ctx.pool().  The task
+  /// keeps references into ctx (application/architecture); Pipeline::run
+  /// finishes or abandons it before returning, so they never dangle.
+  [[nodiscard]] static std::shared_ptr<SpeculationTask> launch(
+      SynthesisContext& ctx, const PolicyAssignment& incumbent);
+
+  [[nodiscard]] const PolicyAssignment& incumbent() const {
+    return incumbent_;
+  }
+
+  /// Claim-or-wait: a task the pool has not started yet runs inline on the
+  /// calling thread (a zero-worker pool still speculates correctly, it
+  /// just hides no latency); a running task is waited for.  Returns false
+  /// when the task was cancelled mid-run (its result is unusable).  An
+  /// exception the work threw (scheduler deadlock, bad_alloc) is rethrown
+  /// here -- exactly where the serial stage would have thrown it.
+  bool finish();
+
+  /// Cancels without joining: a running task observes the token at its
+  /// next poll and winds down on its own.  Use when the caller has better
+  /// things to do than wait (the discard path rebuilds tables serially
+  /// while the dead task drains); someone must still abandon() the task
+  /// before the context goes away -- Pipeline::run's drain guard does.
+  void discard() { cancel_.request_cancel(); }
+
+  /// Cancels and joins without consuming: a never-started task is marked
+  /// abandoned (its pool job becomes a no-op), a running one is cancelled
+  /// through its chained token and drained.  The join is bounded by one
+  /// chunk of the task's work -- one scenario simulation, or its single
+  /// full WCSL evaluation (which has no interior cancellation point).
+  void abandon();
+
+  /// Valid after finish() returned true.
+  [[nodiscard]] const WcslResult& wcsl() const { return wcsl_; }
+  [[nodiscard]] std::optional<CondScheduleResult>& schedule() {
+    return schedule_;
+  }
+  /// Wall-clock the task spent computing (0 when abandoned before start).
+  [[nodiscard]] double seconds() const { return seconds_; }
+
+ private:
+  SpeculationTask(SynthesisContext& ctx, PolicyAssignment incumbent);
+  void run();       ///< pool entry: claim kPending -> kRunning, then work
+  void run_body();  ///< the ScheduleTableStage work against incumbent_
+
+  enum State { kPending, kRunning, kDone, kAbandoned };
+
+  const Application& app_;
+  const Architecture& arch_;
+  FaultModel model_;
+  CondScheduleOptions sched_;
+  bool build_tables_;
+  PolicyAssignment incumbent_;
+  CancellationToken cancel_;  ///< chained to the pipeline's token
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  State state_ = kPending;
+  bool ok_ = false;
+  std::exception_ptr error_;  ///< rethrown by finish(); abandon() swallows
+  WcslResult wcsl_;
+  std::optional<CondScheduleResult> schedule_;
+  double seconds_ = 0.0;
 };
 
 /// Tabu-search mapping + fault-tolerance policy assignment (src/opt).
@@ -151,6 +273,7 @@ class CheckpointRefineStage : public Stage {
   }
   void run(SynthesisContext& ctx, SynthesisState& state,
            StageMetrics& metrics) override;
+  [[nodiscard]] bool refines_incumbent() const override { return true; }
 };
 
 /// Final analytic WCSL + schedulability, plus conditional schedule tables
@@ -163,6 +286,7 @@ class ScheduleTableStage : public Stage {
   }
   void run(SynthesisContext& ctx, SynthesisState& state,
            StageMetrics& metrics) override;
+  [[nodiscard]] bool consumes_speculation() const override { return true; }
 };
 
 class Pipeline {

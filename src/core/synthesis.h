@@ -40,6 +40,18 @@ struct SynthesisOptions {
   /// Generate schedule tables (exponential in k; skip for large designs and
   /// use the WCSL bound only).
   bool build_schedule_tables = true;
+  /// Speculative stage execution: while the checkpoint refinement runs,
+  /// generate schedule tables for its incumbent in the background; adopt
+  /// them when the refinement does not improve (bit-identical results,
+  /// asserted -- see core/pipeline.h).
+  bool speculate = false;
+  /// Deadline watchdog (core/pipeline.h): wall-clock budget per stage /
+  /// for the whole run, in milliseconds.  Negative = unlimited; 0 cancels
+  /// at the first cancellation point.  On expiry the run's cancellation
+  /// token flips and a well-formed partial result is returned with
+  /// `timed_out` set.
+  long long stage_budget_ms = -1;
+  long long total_budget_ms = -1;
 };
 
 struct SynthesisResult {
@@ -48,6 +60,10 @@ struct SynthesisResult {
   std::optional<CondScheduleResult> schedule;  ///< S (tables), if built
   bool schedulable = false;           ///< deadlines hold in the worst case
   int evaluations = 0;                ///< objective evaluations spent
+  /// The run was cancelled (externally or by the deadline watchdog); the
+  /// fields above describe the well-formed partial state at that point.
+  bool cancelled = false;
+  bool timed_out = false;             ///< the cancellation came from a budget
 };
 
 /// End-to-end synthesis.  Throws std::invalid_argument on model errors.

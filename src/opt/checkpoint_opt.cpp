@@ -74,8 +74,7 @@ CheckpointOptResult optimize_checkpoints_global(
   for (int round = 0; round < options.max_rounds && !cancelled; ++round) {
     bool improved = false;
     for (const auto& [pid, j] : targets) {
-      if (options.cancel &&
-          options.cancel->load(std::memory_order_relaxed)) {
+      if (options.cancel && options.cancel->poll()) {
         cancelled = true;
         break;
       }
@@ -99,13 +98,20 @@ CheckpointOptResult optimize_checkpoints_global(
       // All candidate counts are judged against the same incumbent, so
       // their (incremental) evaluations run concurrently; the selection
       // below is serial in candidate order for thread-count invariance.
-      wcsls.assign(candidates.size(), 0);
+      wcsls.assign(candidates.size(), kTimeInfinity);
       parallel_for(pool, candidates.size(), threads, [&](std::size_t n) {
+        // Chunk-granular cancellation point (see policy_assignment.cpp).
+        if (options.cancel && options.cancel->poll()) return;
         ProcessPlan plan = result.assignment.plan(pid);
         plan.copies[static_cast<std::size_t>(j)].checkpoints =
             candidates[n];
         wcsls[n] = eval->evaluate_move(pid, plan).makespan;
       });
+      // A partially evaluated candidate set must not drive a selection.
+      if (options.cancel && options.cancel->cancelled()) {
+        cancelled = true;
+        break;
+      }
       result.evaluations += static_cast<int>(candidates.size());
 
       int chosen = -1;

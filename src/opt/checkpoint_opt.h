@@ -10,13 +10,12 @@
 // (standing in for an ILP formulation, DESIGN.md Section 5).
 #pragma once
 
-#include <atomic>
-
 #include "app/application.h"
 #include "arch/architecture.h"
 #include "fault/fault_model.h"
 #include "fault/policy.h"
 #include "opt/eval_stats.h"
+#include "util/cancellation.h"
 #include "util/time_types.h"
 
 namespace ftes {
@@ -49,8 +48,9 @@ struct CheckpointOptOptions {
   ThreadPool* pool = nullptr;
   /// Shared incremental evaluator; nullptr = a private one.
   EvalContext* eval = nullptr;
-  /// Cooperative cancellation, checked once per target copy.
-  const std::atomic<bool>* cancel = nullptr;
+  /// Cooperative cancellation: polled per target copy and inside every
+  /// parallel candidate evaluation.
+  CancellationToken* cancel = nullptr;
 };
 
 /// Coordinate descent: repeatedly sweep all checkpointed copies; for each

@@ -76,10 +76,7 @@ MappingOptResult optimize_mapping_no_ft(const Application& app,
   std::vector<Time> costs;
 
   for (int iter = 0; iter < options.iterations; ++iter) {
-    if (options.cancel &&
-        options.cancel->load(std::memory_order_relaxed)) {
-      break;
-    }
+    if (options.cancel && options.cancel->poll()) break;
     candidates.clear();
     for (int s = 0; s < options.neighborhood; ++s) {
       const ProcessId pid{static_cast<std::int32_t>(
@@ -98,11 +95,14 @@ MappingOptResult optimize_mapping_no_ft(const Application& app,
       candidates.push_back(Candidate{pid, std::move(plan), key});
     }
 
-    costs.assign(candidates.size(), 0);
+    costs.assign(candidates.size(), kTimeInfinity);
     parallel_for(pool, candidates.size(), threads, [&](std::size_t i) {
+      // Chunk-granular cancellation point (see policy_assignment.cpp).
+      if (options.cancel && options.cancel->poll()) return;
       costs[i] =
           eval.fault_free_makespan(candidates[i].pid, candidates[i].plan);
     });
+    if (options.cancel && options.cancel->cancelled()) break;
     evaluations += static_cast<int>(candidates.size());
 
     Time best_move_cost = kTimeInfinity;

@@ -4,13 +4,13 @@
 // the first stage of the straightforward SFX baseline of Fig. 7.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 
 #include "app/application.h"
 #include "arch/architecture.h"
 #include "fault/policy.h"
 #include "opt/eval_stats.h"
+#include "util/cancellation.h"
 #include "util/time_types.h"
 
 namespace ftes {
@@ -27,8 +27,9 @@ struct MappingOptOptions {
   int threads = 1;
   /// Pool supplying the helper threads; nullptr = ThreadPool::shared().
   ThreadPool* pool = nullptr;
-  /// Cooperative cancellation, checked once per tabu iteration.
-  const std::atomic<bool>* cancel = nullptr;
+  /// Cooperative cancellation: polled per tabu iteration and inside every
+  /// parallel evaluation chunk.
+  CancellationToken* cancel = nullptr;
 };
 
 struct MappingOptResult {

@@ -193,10 +193,7 @@ OptimizeResult optimize_from(const Application& app, const Architecture& arch,
   std::vector<Time> costs;
 
   for (int iter = 0; iter < options.iterations; ++iter) {
-    if (options.cancel &&
-        options.cancel->load(std::memory_order_relaxed)) {
-      break;
-    }
+    if (options.cancel && options.cancel->poll()) break;
     // --- phase 1: sample the neighborhood (serial, owns the RNG) ---------
     candidates.clear();
     for (int s = 0; s < options.neighborhood; ++s) {
@@ -296,11 +293,18 @@ OptimizeResult optimize_from(const Application& app, const Architecture& arch,
     }
 
     // --- phase 2: evaluate all sampled moves (parallel, pure) ------------
-    costs.assign(candidates.size(), 0);
+    costs.assign(candidates.size(), kTimeInfinity);
     parallel_for(pool, candidates.size(), threads, [&](std::size_t i) {
+      // Chunk-granular cancellation point: a watchdog deadline fires
+      // within one candidate evaluation instead of one neighborhood.
+      if (options.cancel && options.cancel->poll()) return;
       costs[i] =
           eval->evaluate_move(candidates[i].pid, candidates[i].plan).cost;
     });
+    // A cancellation observed mid-neighborhood leaves gaps in `costs`;
+    // selecting from a partially evaluated sample would be timing-
+    // dependent, so the iteration is abandoned wholesale.
+    if (options.cancel && options.cancel->cancelled()) break;
     evaluations += static_cast<int>(candidates.size());
 
     // --- phase 3: pick the admissible move (serial, in sample order) -----

@@ -10,7 +10,6 @@
 // sched/wcsl.h plus soft penalties for local-deadline violations.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 
 #include "app/application.h"
@@ -18,6 +17,7 @@
 #include "fault/fault_model.h"
 #include "fault/policy.h"
 #include "opt/eval_stats.h"
+#include "util/cancellation.h"
 #include "util/time_types.h"
 
 namespace ftes {
@@ -59,9 +59,12 @@ struct OptimizeOptions {
   /// one across stages (core/pipeline.h) reuses its workspaces and
   /// aggregates its statistics (the search rebases it on its own start).
   EvalContext* eval = nullptr;
-  /// Cooperative cancellation: checked once per tabu iteration; the search
-  /// returns its best-so-far when set.  nullptr = never cancelled.
-  const std::atomic<bool>* cancel = nullptr;
+  /// Cooperative cancellation: polled at every tabu iteration AND inside
+  /// every parallel evaluation chunk (so an armed deadline fires within
+  /// one candidate evaluation, not one full neighborhood); the search
+  /// returns its best-so-far when the token fires.  nullptr = never
+  /// cancelled.
+  CancellationToken* cancel = nullptr;
 };
 
 struct OptimizeResult {

@@ -59,8 +59,9 @@ class CondSim {
     // Register every condition id a scenario can reveal, serially and in
     // scenario order, so the id numbering matches the serial generator and
     // the simulations below can run concurrently with a read-only registry.
-    for (const FaultScenario& sc : scenarios) {
-      register_scenario_conditions(sc);
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+      if ((s & 1023u) == 0u) throw_if_cancelled();
+      register_scenario_conditions(scenarios[s]);
     }
 
     CondScheduleResult result;
@@ -71,8 +72,12 @@ class CondSim {
       result.traces.assign(scenarios.size(), ScenarioTrace{});
       bool moved = false;
       parallel_for(*pool_, scenarios.size(), threads_, [&](std::size_t i) {
+        // Chunk-granular cancellation point: a deadline fires within one
+        // scenario simulation; the partial traces are discarded below.
+        if (opts_.cancel && opts_.cancel->poll()) return;
         result.traces[i] = simulate(scenarios[i]);
       });
+      throw_if_cancelled();
       // Raise pins to the observed maxima.
       for (const ScenarioTrace& tr : result.traces) {
         for (const ExecTrace& e : tr.execs) {
@@ -643,8 +648,10 @@ class CondSim {
     // order.
     std::vector<std::vector<TableRecord>> per_trace(result.traces.size());
     parallel_for(*pool_, result.traces.size(), threads_, [&](std::size_t i) {
+      if (opts_.cancel && opts_.cancel->poll()) return;
       per_trace[i] = trace_records(result.traces[i]);
     });
+    throw_if_cancelled();
 
     for (const std::vector<TableRecord>& records : per_trace) {
       for (const TableRecord& r : records) {
@@ -674,6 +681,15 @@ class CondSim {
     for (TableRows& rows : tables.node_rows) sort_rows(rows);
     sort_rows(tables.bus_rows);
     tables.conds = registry_;
+  }
+
+  /// Joins the scenario workers' chunk-granular polls: any observed
+  /// cancellation abandons the whole generation (partial tables are wrong,
+  /// not partial results).
+  void throw_if_cancelled() const {
+    if (opts_.cancel && opts_.cancel->poll()) {
+      throw CancelledError("conditional scheduling cancelled");
+    }
   }
 
   const Application& app_;

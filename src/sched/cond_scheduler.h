@@ -37,6 +37,7 @@
 #include "fault/policy.h"
 #include "fault/scenario.h"
 #include "sched/schedule_table.h"
+#include "util/cancellation.h"
 
 namespace ftes {
 
@@ -100,6 +101,11 @@ struct CondScheduleOptions {
   int threads = 1;
   /// Pool supplying the helper threads; nullptr = ThreadPool::shared().
   ThreadPool* pool = nullptr;
+  /// Cooperative cancellation: polled per simulated scenario and per
+  /// extracted trace.  Tables built from a scenario subset would be wrong
+  /// (not partial), so the generator throws CancelledError when the token
+  /// fires.  nullptr = never cancelled.
+  CancellationToken* cancel = nullptr;
 };
 
 struct CondScheduleResult {

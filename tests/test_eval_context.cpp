@@ -201,6 +201,73 @@ TEST(EvalContext, ConcurrentMoveEvaluationsMatchSerial) {
   EXPECT_EQ(serial, parallel);
 }
 
+// Regression guard for the accepted-move path (ROADMAP: "resume logs for
+// accepted moves"): a rebase served by the winning-move cache skips the DP
+// rebuild but MUST still rebuild the base schedule's checkpoint log --
+// otherwise the next round of list_schedule_resume would replay against a
+// stale log and silently produce wrong schedules.  The test forces a
+// cache-hit rebase, then pins (a) that subsequent incremental evaluations
+// against the new base are bit-identical to from-scratch evaluations and
+// (b) that they are actually served by snapshot resumes from the fresh log.
+TEST(EvalContext, CacheHitRebaseLeavesUsableCheckpointLog) {
+  const Instance inst = make_instance(20, 3, 31);
+  const FaultModel model{2};
+  PolicyAssignment base = greedy_initial(inst.app, inst.arch, model,
+                                         PolicySpace::kCheckpointingOnly, 8);
+  EvalContext eval(inst.app, inst.arch, model);
+  eval.rebase(base);
+
+  // Candidate moves on one process, generated in increasing move-key
+  // order (checkpoint count ascending): picking the first strict minimum
+  // below then matches the winning-move cache's deterministic tie-break.
+  const ProcessId pid = inst.app.topological_order().front();
+  std::vector<ProcessPlan> moves;
+  for (int count = 1; count <= 6; ++count) {
+    ProcessPlan plan = base.plan(pid);
+    plan.copies[0].checkpoints = count;
+    if (plan == base.plan(pid)) continue;
+    moves.push_back(std::move(plan));
+  }
+  ASSERT_GE(moves.size(), 2u);
+
+  Time best_cost = kTimeInfinity;
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    const Time cost = eval.evaluate_move(pid, moves[i]).cost;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = i;
+    }
+  }
+
+  // Accept the winning move: this rebase must be served by the cache.
+  const EvalStats before = eval.stats();
+  base.plan(pid) = moves[best];
+  const EvalContext::Outcome accepted = eval.rebase(base);
+  const EvalStats after_rebase = eval.stats().since(before);
+  ASSERT_EQ(after_rebase.rebase_cache_hits, 1)
+      << "the accepted move must hit the winning-move cache";
+  EXPECT_EQ(accepted.cost, best_cost);
+
+  // Next round: moves against the new base must resume from the freshly
+  // recorded log and match from-scratch evaluations exactly.
+  Rng rng(77);
+  for (int round = 0; round < 25; ++round) {
+    const ProcessId mover{static_cast<std::int32_t>(
+        rng.index(static_cast<std::size_t>(inst.app.process_count())))};
+    const ProcessPlan plan = random_move(inst, base, mover, model, rng);
+    PolicyAssignment candidate = base;
+    candidate.plan(mover) = plan;
+    const EvalContext::Outcome incremental = eval.evaluate_move(mover, plan);
+    EXPECT_EQ(incremental.makespan,
+              evaluate_wcsl(inst.app, inst.arch, candidate, model).makespan)
+        << "round " << round;
+  }
+  const EvalStats next_round = eval.stats().since(before);
+  EXPECT_GT(next_round.ls_events_resumed, 0)
+      << "post-rebase evaluations must be served by the rebuilt log";
+}
+
 TEST(EvalContext, EvaluateMoveWithoutRebaseThrows) {
   const Instance inst = make_instance(6, 2, 1);
   const FaultModel model{1};

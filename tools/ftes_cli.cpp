@@ -14,6 +14,13 @@
 //                       the analytic WCSL only (tables are never built),
 //                       and the per-problem output flags below (except
 //                       --json) are rejected
+//   --speculate         overlap schedule-table generation with checkpoint
+//                       refinement (bit-identical results; single mode)
+//   --stage-budget-ms <n>   wall-clock budget per pipeline stage; on expiry
+//                       the run is cancelled and the partial result
+//                       reported as timed out (-1 = unlimited, default)
+//   --total-budget-ms <n>   wall-clock budget for the whole synthesis
+//                       (per task in --batch mode; -1 = unlimited)
 //   --no-tables         skip schedule-table generation (large designs)
 //   --root              emit a root schedule (fully transparent recovery)
 //   --json              single mode: dump schedule tables as JSON;
@@ -53,6 +60,9 @@ struct CliOptions {
   std::uint64_t seed = 1;
   int iterations = 300;
   int threads = 1;
+  bool speculate = false;
+  long long stage_budget_ms = -1;
+  long long total_budget_ms = -1;
   bool tables = true;
   bool root = false;
   bool json = false;
@@ -64,10 +74,12 @@ struct CliOptions {
 int usage() {
   std::fprintf(stderr,
                "usage: ftes_cli <problem.ftes> [--seed n] [--iterations n] "
-               "[--threads n] [--no-tables] [--root] [--json] [--c-source] "
-               "[--dot] [--gantt]\n"
+               "[--threads n] [--speculate] [--stage-budget-ms n] "
+               "[--total-budget-ms n] [--no-tables] [--root] [--json] "
+               "[--c-source] [--dot] [--gantt]\n"
                "       ftes_cli --batch <dir> [--seed n] [--iterations n] "
-               "[--threads n] [--json]\n");
+               "[--threads n] [--stage-budget-ms n] [--total-budget-ms n] "
+               "[--json]\n");
   return 1;
 }
 
@@ -82,6 +94,12 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       opts.threads = std::atoi(argv[++i]);
     } else if (arg == "--batch" && i + 1 < argc) {
       opts.batch_dir = argv[++i];
+    } else if (arg == "--speculate") {
+      opts.speculate = true;
+    } else if (arg == "--stage-budget-ms" && i + 1 < argc) {
+      opts.stage_budget_ms = std::atoll(argv[++i]);
+    } else if (arg == "--total-budget-ms" && i + 1 < argc) {
+      opts.total_budget_ms = std::atoll(argv[++i]);
     } else if (arg == "--no-tables") {
       opts.tables = false;
     } else if (arg == "--root") {
@@ -107,11 +125,14 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
 
 int run_batch_mode(const CliOptions& opts) {
   // Per-problem output flags have nowhere to go in the batch report
-  // (--json switches the report itself to JSON instead).
-  if (opts.root || opts.c_source || opts.dot || opts.gantt) {
+  // (--json switches the report itself to JSON instead), and speculation
+  // only overlaps table generation, which batch mode never performs --
+  // reject rather than silently ignore.
+  if (opts.root || opts.c_source || opts.dot || opts.gantt ||
+      opts.speculate) {
     std::fprintf(stderr,
-                 "ftes_cli: --root/--c-source/--dot/--gantt are not "
-                 "available in --batch mode\n");
+                 "ftes_cli: --root/--c-source/--dot/--gantt/--speculate are "
+                 "not available in --batch mode\n");
     return 1;
   }
 
@@ -132,6 +153,10 @@ int run_batch_mode(const CliOptions& opts) {
   batch.threads = opts.threads;
   batch.base_seed = opts.seed;
   batch.synthesis.optimize.iterations = opts.iterations;
+  // Deadline watchdog per task: a pathological instance is cut short and
+  // reported as timed out while the sweep continues.
+  batch.synthesis.stage_budget_ms = opts.stage_budget_ms;
+  batch.synthesis.total_budget_ms = opts.total_budget_ms;
   // The batch report only uses the analytic WCSL; building the
   // (exponential-in-k) schedule tables per task would dominate the run
   // and be thrown away.
@@ -153,6 +178,14 @@ int run_batch_mode(const CliOptions& opts) {
 int main(int argc, char** argv) {
   CliOptions opts;
   if (!parse_args(argc, argv, opts)) return usage();
+  if (opts.speculate && !opts.tables) {
+    // Speculation only overlaps table generation: reject the combination
+    // rather than silently ignore the flag.
+    std::fprintf(stderr,
+                 "ftes_cli: --speculate has nothing to overlap with "
+                 "--no-tables\n");
+    return 1;
+  }
   if (!opts.batch_dir.empty()) {
     if (!opts.input.empty()) return usage();  // one mode at a time
     return run_batch_mode(opts);
@@ -178,6 +211,9 @@ int main(int argc, char** argv) {
   synth.optimize.seed = opts.seed;
   synth.optimize.threads = opts.threads;
   synth.build_schedule_tables = opts.tables;
+  synth.speculate = opts.speculate;
+  synth.stage_budget_ms = opts.stage_budget_ms;
+  synth.total_budget_ms = opts.total_budget_ms;
 
   // Drive the stage pipeline directly so per-stage metrics can be shown.
   SynthesisContext ctx(problem.app, problem.arch, synth);
@@ -213,6 +249,13 @@ int main(int argc, char** argv) {
                   100.0 * static_cast<double>(m.sched_events_resumed) /
                       static_cast<double>(m.sched_events_total));
     }
+    // Only printed when the features fired, so default runs stay
+    // bit-identical to older goldens; speculation hit/miss is itself
+    // deterministic for a fixed seed and any --threads.
+    if (m.spec_hits + m.spec_misses > 0) {
+      std::printf(" (speculation %s)", m.spec_hits > 0 ? "hit" : "miss");
+    }
+    if (m.timed_out) std::printf(" timed out");
     std::printf(";");
   }
   std::printf("\n");
