@@ -120,6 +120,15 @@ inline void add_total_entry(BenchReport& report, const EvalStats& total,
                          static_cast<double>(total.rebases)
                    : 0.0);
   entry.metric("heap_pops", static_cast<double>(total.heap_pops));
+  // Accepted-move rebases: logs produced by record-while-resuming vs
+  // schedules still built from scratch (CI asserts these exist and that
+  // the fig7 sweep actually resumes some).
+  entry.metric("rebase_log_recorded",
+               static_cast<double>(total.rebase_log_recorded));
+  entry.metric("rebase_log_events_resumed",
+               static_cast<double>(total.rebase_log_events_resumed));
+  entry.metric("rebase_full_builds",
+               static_cast<double>(total.rebase_full_builds));
 }
 
 }  // namespace ftes::bench

@@ -4,7 +4,10 @@
 // across commits needs stable, parseable artifacts instead.  A BenchReport
 // collects named entries -- each with a wall-clock and a flat list of
 // numeric metrics (evaluations/sec, cache-hit rates, ...) -- and writes
-// them as one JSON object.  The recommended artifact name is
+// them as one JSON object.  Every report carries build metadata (compiler,
+// build type, thread count) so BENCH_*.json trajectory entries from
+// different environments are comparable -- a Debug/clang artifact is not a
+// regression against a Release/gcc one.  The recommended artifact name is
 // BENCH_<bench>.json; see docs/CLI.md for the schema and the regeneration
 // commands.
 #pragma once
@@ -18,6 +21,36 @@
 #include "util/json_io.h"
 
 namespace ftes::bench {
+
+/// Compiler id + version derived from predefined macros (clang first:
+/// it defines __GNUC__ too).
+inline std::string compiler_id() {
+#if defined(__clang__)
+  return "clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#elif defined(_MSC_VER)
+  return "msvc " + std::to_string(_MSC_VER);
+#else
+  return "unknown";
+#endif
+}
+
+/// CMake's build type when the build system provides it (FTES_BUILD_TYPE,
+/// see CMakeLists.txt); an NDEBUG-based guess otherwise.
+inline std::string build_type_id() {
+#if defined(FTES_BUILD_TYPE)
+  return FTES_BUILD_TYPE;
+#elif defined(NDEBUG)
+  return "Release?";
+#else
+  return "Debug?";
+#endif
+}
 
 struct BenchReport {
   struct Entry {
@@ -45,7 +78,11 @@ struct BenchReport {
     std::ostringstream out;
     out << "{\"bench\": ";
     json_escape(out, bench);
-    out << ", \"threads\": " << threads << ", \"entries\": [";
+    out << ", \"threads\": " << threads << ", \"compiler\": ";
+    json_escape(out, compiler_id());
+    out << ", \"build_type\": ";
+    json_escape(out, build_type_id());
+    out << ", \"entries\": [";
     for (std::size_t i = 0; i < entries.size(); ++i) {
       const Entry& e = entries[i];
       if (i > 0) out << ", ";

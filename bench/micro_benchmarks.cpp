@@ -185,6 +185,44 @@ BENCHMARK(BM_MoveScheduleResume)
     ->Args({100, 0});
 
 // ---------------------------------------------------------------------------
+// Accepted-move rebases: rebuilding the new base's schedule *and* its
+// checkpoint log from scratch (what every rebase paid before
+// record-while-resuming) vs replaying the accepted move from the old log
+// while recording the new one.  Same sink/source split as the move benches.
+// ---------------------------------------------------------------------------
+
+void BM_RebaseLogFullRebuild(benchmark::State& state) {
+  const MoveSetup ms =
+      make_move_setup(static_cast<int>(state.range(0)), state.range(1) != 0);
+  ScheduleCheckpointLog fresh;
+  int flip = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        list_schedule(ms.s.app, ms.s.arch, ms.candidates[flip ^= 1], fresh));
+  }
+}
+BENCHMARK(BM_RebaseLogFullRebuild)
+    ->Args({50, 1})
+    ->Args({100, 1})
+    ->Args({100, 0});
+
+void BM_RebaseLogRerecord(benchmark::State& state) {
+  const MoveSetup ms =
+      make_move_setup(static_cast<int>(state.range(0)), state.range(1) != 0);
+  ScheduleCheckpointLog fresh;
+  int flip = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list_schedule_resume(
+        ms.s.app, ms.s.arch, ms.s.assignment, ms.log, ms.candidates[flip ^= 1],
+        ms.pid, nullptr, &fresh));
+  }
+}
+BENCHMARK(BM_RebaseLogRerecord)
+    ->Args({50, 1})
+    ->Args({100, 1})
+    ->Args({100, 0});
+
+// ---------------------------------------------------------------------------
 // Ready-set management: the production heap-based scheduler vs the
 // historical O(V^2) linear ready-scan (kept here as a reference so the
 // asymptotic win stays measurable).

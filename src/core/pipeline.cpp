@@ -20,6 +20,15 @@ void fill_eval_metrics(StageMetrics& metrics, const EvalStats& spent) {
   metrics.sched_events_total = spent.ls_events_total;
   metrics.sched_events_resumed = spent.ls_events_resumed;
   metrics.rebase_cache_hits = spent.rebase_cache_hits;
+  metrics.rebase_log_recorded = spent.rebase_log_recorded;
+  metrics.rebase_full_builds = spent.rebase_full_builds;
+}
+
+void fill_search_metrics(StageMetrics& metrics, const SearchStats& stats) {
+  metrics.search_iterations = stats.iterations;
+  metrics.search_accepted = stats.accepted_moves;
+  metrics.search_tabu_rejected = stats.tabu_rejected;
+  metrics.search_aspiration = stats.aspiration_accepted;
 }
 
 bool same_assignment(const PolicyAssignment& a, const PolicyAssignment& b) {
@@ -43,6 +52,12 @@ std::string StageMetrics::to_json() const {
       << ", \"sched_events_total\": " << sched_events_total
       << ", \"sched_events_resumed\": " << sched_events_resumed
       << ", \"rebase_cache_hits\": " << rebase_cache_hits
+      << ", \"rebase_log_recorded\": " << rebase_log_recorded
+      << ", \"rebase_full_builds\": " << rebase_full_builds
+      << ", \"search_iterations\": " << search_iterations
+      << ", \"search_accepted\": " << search_accepted
+      << ", \"search_tabu_rejected\": " << search_tabu_rejected
+      << ", \"search_aspiration\": " << search_aspiration
       << ", \"spec_hits\": " << spec_hits
       << ", \"spec_misses\": " << spec_misses << ", \"spec_seconds\": ";
   json_seconds(out, spec_seconds);
@@ -195,6 +210,7 @@ void PolicyAssignmentStage::run(SynthesisContext& ctx, SynthesisState& state,
   state.schedulable = r.schedulable;
   state.evaluations += r.evaluations;
   fill_eval_metrics(metrics, r.eval_stats);
+  fill_search_metrics(metrics, r.search_stats);
 }
 
 void CheckpointRefineStage::run(SynthesisContext& ctx, SynthesisState& state,
@@ -216,6 +232,7 @@ void CheckpointRefineStage::run(SynthesisContext& ctx, SynthesisState& state,
   state.wcsl_bound = r.wcsl;
   state.evaluations += r.evaluations;
   fill_eval_metrics(metrics, r.eval_stats);
+  fill_search_metrics(metrics, r.search_stats);
 }
 
 void ScheduleTableStage::run(SynthesisContext& ctx, SynthesisState& state,

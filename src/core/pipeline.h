@@ -59,7 +59,18 @@ struct StageMetrics {
   long long sched_events_total = 0;
   long long sched_events_resumed = 0;
   long long rebase_cache_hits = 0;  ///< rebases served by the move cache
-  double seconds = 0.0;             ///< wall-clock of the stage
+  /// Accepted-move rebases whose checkpoint log was produced by
+  /// record-while-resuming instead of a from-scratch schedule build, and
+  /// the rebases that still had to rebuild from scratch.
+  long long rebase_log_recorded = 0;
+  long long rebase_full_builds = 0;
+  /// Neighborhood-search engine counters (opt/search_engine.h) of the
+  /// optimizer driving the stage; all zero for non-search stages.
+  long long search_iterations = 0;
+  long long search_accepted = 0;
+  long long search_tabu_rejected = 0;
+  long long search_aspiration = 0;
+  double seconds = 0.0;  ///< wall-clock of the stage
   /// Speculative stage execution (SynthesisOptions::speculate): a hit
   /// adopted the background result computed during refinement, a miss
   /// discarded it (refinement improved, or the run was cancelled).

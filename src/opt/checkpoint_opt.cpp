@@ -8,8 +8,8 @@
 
 #include "fault/recovery.h"
 #include "opt/eval_context.h"
+#include "opt/search_engine.h"
 #include "sched/wcsl.h"
-#include "util/thread_pool.h"
 
 namespace ftes {
 
@@ -47,6 +47,79 @@ std::vector<std::pair<ProcessId, int>> checkpointed_copies(
   return result;
 }
 
+/// Coordinate descent over checkpoint counts as a neighborhood problem:
+/// each engine iteration is one target (process, copy); its neighborhood
+/// is the candidate counts X-2 / X-1 / X+1 / X+2 / 1 ("no intermediate
+/// checkpoints" -- off-critical processes often want n = 1 to shed the
+/// n*chi overhead entirely, which +-1 steps reach only through a cost
+/// plateau), judged by the WCSL makespan.  The generator carries the sweep
+/// state (round, target cursor, improved flag) and stops the engine when a
+/// full sweep makes no progress or max_rounds is exhausted; the engine's
+/// require_improvement acceptance keeps only strict improvements
+/// (earliest candidate on ties), exactly the historical descent.
+class CheckpointDescentProblem final : public SearchProblem {
+ public:
+  CheckpointDescentProblem(EvalContext& eval,
+                           std::vector<std::pair<ProcessId, int>> targets,
+                           int max_checkpoints, int max_rounds)
+      : eval_(eval),
+        targets_(std::move(targets)),
+        max_checkpoints_(max_checkpoints),
+        max_rounds_(max_rounds) {}
+
+  bool neighborhood(int /*iteration*/, const PolicyAssignment& current,
+                    bool accepted_last, std::vector<Move>& out) override {
+    improved_ = improved_ || accepted_last;
+    if (max_rounds_ <= 0) return false;
+    while (true) {
+      if (next_target_ == targets_.size()) {  // sweep boundary
+        if (!improved_ || round_ + 1 >= max_rounds_) return false;
+        ++round_;
+        next_target_ = 0;
+        improved_ = false;
+      }
+      const auto& [pid, j] = targets_[next_target_++];
+      const ProcessPlan& plan = current.plan(pid);
+      const int count = plan.copies[static_cast<std::size_t>(j)].checkpoints;
+      counts_.clear();
+      for (int next : {count - 2, count - 1, count + 1, count + 2, 1}) {
+        if (next < 1 || next > max_checkpoints_ || next == count ||
+            std::find(counts_.begin(), counts_.end(), next) !=
+                counts_.end()) {
+          continue;
+        }
+        counts_.push_back(next);
+      }
+      if (counts_.empty()) continue;  // clamped target: straight to the next
+      for (int next : counts_) {
+        ProcessPlan moved = plan;
+        moved.copies[static_cast<std::size_t>(j)].checkpoints = next;
+        out.push_back(Move{pid, std::move(moved),
+                           TabuList::Key{2, pid.get(), j, next}});
+      }
+      return true;
+    }
+  }
+
+  Time evaluate(const Move& move) override {
+    return eval_.evaluate_move(move.pid, move.plan).makespan;
+  }
+
+  Time commit(const PolicyAssignment& current) override {
+    return eval_.rebase(current).makespan;
+  }
+
+ private:
+  EvalContext& eval_;
+  std::vector<std::pair<ProcessId, int>> targets_;
+  int max_checkpoints_;
+  int max_rounds_;
+  std::size_t next_target_ = 0;
+  int round_ = 0;
+  bool improved_ = false;
+  std::vector<int> counts_;
+};
+
 }  // namespace
 
 CheckpointOptResult optimize_checkpoints_global(
@@ -59,78 +132,23 @@ CheckpointOptResult optimize_checkpoints_global(
     eval = owned_eval.get();
   }
   const EvalStats stats_before = eval->stats();
-  const int threads = resolve_threads(options.threads);
-  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
+
+  CheckpointDescentProblem problem(*eval, checkpointed_copies(app, initial),
+                                   options.max_checkpoints,
+                                   options.max_rounds);
+  SearchOptions search;
+  search.require_improvement = true;  // pure descent, no tabu list
+  search.threads = options.threads;
+  search.pool = options.pool;
+  search.cancel = options.cancel;
+  SearchResult found =
+      neighborhood_search(problem, std::move(initial), search);
 
   CheckpointOptResult result;
-  result.assignment = std::move(initial);
-  result.wcsl = eval->rebase(result.assignment).makespan;
-  result.evaluations = 1;
-
-  const auto targets = checkpointed_copies(app, result.assignment);
-  std::vector<int> candidates;
-  std::vector<Time> wcsls;
-  bool cancelled = false;
-  for (int round = 0; round < options.max_rounds && !cancelled; ++round) {
-    bool improved = false;
-    for (const auto& [pid, j] : targets) {
-      if (options.cancel && options.cancel->poll()) {
-        cancelled = true;
-        break;
-      }
-      CopyPlan& copy =
-          result.assignment.plan(pid).copies[static_cast<std::size_t>(j)];
-      // Neighbour counts plus the "no intermediate checkpoints" extreme --
-      // off-critical processes often want n = 1 to shed the n*chi overhead
-      // entirely, which +-1 steps reach only through a cost plateau.
-      const int current = copy.checkpoints;
-      candidates.clear();
-      for (int next : {current - 2, current - 1, current + 1, current + 2, 1}) {
-        if (next < 1 || next > options.max_checkpoints || next == current ||
-            std::find(candidates.begin(), candidates.end(), next) !=
-                candidates.end()) {
-          continue;
-        }
-        candidates.push_back(next);
-      }
-      if (candidates.empty()) continue;
-
-      // All candidate counts are judged against the same incumbent, so
-      // their (incremental) evaluations run concurrently; the selection
-      // below is serial in candidate order for thread-count invariance.
-      wcsls.assign(candidates.size(), kTimeInfinity);
-      parallel_for(pool, candidates.size(), threads, [&](std::size_t n) {
-        // Chunk-granular cancellation point (see policy_assignment.cpp).
-        if (options.cancel && options.cancel->poll()) return;
-        ProcessPlan plan = result.assignment.plan(pid);
-        plan.copies[static_cast<std::size_t>(j)].checkpoints =
-            candidates[n];
-        wcsls[n] = eval->evaluate_move(pid, plan).makespan;
-      });
-      // A partially evaluated candidate set must not drive a selection.
-      if (options.cancel && options.cancel->cancelled()) {
-        cancelled = true;
-        break;
-      }
-      result.evaluations += static_cast<int>(candidates.size());
-
-      int chosen = -1;
-      Time chosen_wcsl = result.wcsl;
-      for (std::size_t n = 0; n < candidates.size(); ++n) {
-        if (wcsls[n] < chosen_wcsl) {
-          chosen_wcsl = wcsls[n];
-          chosen = static_cast<int>(n);
-        }
-      }
-      if (chosen >= 0) {
-        copy.checkpoints = candidates[static_cast<std::size_t>(chosen)];
-        result.wcsl = chosen_wcsl;
-        improved = true;
-        eval->rebase(result.assignment);
-      }
-    }
-    if (!improved) break;
-  }
+  result.assignment = std::move(found.best);
+  result.wcsl = found.best_cost;
+  result.evaluations = found.stats.evaluations;
+  result.search_stats = found.stats;
   result.eval_stats = eval->stats().since(stats_before);
   return result;
 }

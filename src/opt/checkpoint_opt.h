@@ -15,6 +15,7 @@
 #include "fault/fault_model.h"
 #include "fault/policy.h"
 #include "opt/eval_stats.h"
+#include "opt/search_engine.h"
 #include "util/cancellation.h"
 #include "util/time_types.h"
 
@@ -33,7 +34,8 @@ struct CheckpointOptResult {
   PolicyAssignment assignment;
   Time wcsl = 0;
   int evaluations = 0;
-  EvalStats eval_stats;  ///< evaluator counters spent by this run
+  EvalStats eval_stats;      ///< evaluator counters spent by this run
+  SearchStats search_stats;  ///< engine counters (opt/search_engine.h)
 };
 
 struct CheckpointOptOptions {

@@ -144,14 +144,66 @@ void EvalContext::invalidate_winner_cache() {
   best_span_ = CacheEntry{};
 }
 
+void EvalContext::rebuild_base_schedule(const PolicyAssignment& base) {
+  // Accepted-move fast path: a new base differing from the old in exactly
+  // one plan replays that move from the old log's nearest safe snapshot
+  // while recording the new base's log (record-while-resuming) -- the
+  // resulting schedule AND log are bit-identical to a from-scratch build.
+  std::int32_t diff_pid = -1;
+  if (base_has_log_ && base.process_count() == base_.process_count()) {
+    int diffs = 0;
+    for (int i = 0; i < base.process_count() && diffs <= 1; ++i) {
+      if (base.plan(ProcessId{i}) != base_.plan(ProcessId{i})) {
+        diff_pid = i;
+        ++diffs;
+      }
+    }
+    if (diffs != 1) diff_pid = -1;
+  }
+  // A resume-recorded log inherits the old base's snapshot interval; take
+  // the fast path only when that equals the interval a default from-scratch
+  // rebuild would pick for the new base (the common case -- single-plan
+  // moves rarely shift round(sqrt(E))), so the produced log -- and with it
+  // every later resume decision and counter -- is bit-identical to the
+  // rebuild it replaces.
+  if (diff_pid >= 0 &&
+      default_snapshot_interval(app_, base) != base_log_.snapshot_interval) {
+    diff_pid = -1;
+  }
+  if (diff_pid >= 0) {
+    ScheduleCheckpointLog new_log;
+    ListScheduleResumeStats rstats;
+    ListSchedule sched =
+        list_schedule_resume(app_, arch_, base_, base_log_, base,
+                             ProcessId{diff_pid}, &rstats, &new_log);
+    base_sched_ = std::move(sched);
+    base_log_ = std::move(new_log);
+    if (rstats.resumed) {
+      rebase_log_recorded_.fetch_add(1, std::memory_order_relaxed);
+      rebase_log_events_resumed_.fetch_add(
+          static_cast<long long>(rstats.events_resumed),
+          std::memory_order_relaxed);
+    } else {
+      // No snapshot preceded the first affected event: the recording run
+      // degenerated to a (still log-producing) full build.
+      rebase_full_builds_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    base_sched_ = list_schedule(app_, arch_, base, base_log_);
+    rebase_full_builds_.fetch_add(1, std::memory_order_relaxed);
+  }
+  base_has_log_ = true;
+}
+
 EvalContext::Outcome EvalContext::rebase(const PolicyAssignment& base) {
   const int k = model_.k;
 
   // Winning-move cache: when the new base is the old base with exactly one
   // plan replaced, and that (process, plan) matches a cached candidate,
   // adopt the candidate's DAG + DP rows wholesale.  Only the fault-free
-  // schedule is rebuilt (its checkpoint log must describe the new base);
-  // the DP -- the dominant rebase cost -- is a pointer swap.
+  // schedule remains -- rebuilt by record-while-resuming from the old log
+  // (its checkpoint log must describe the new base) -- so the accept step
+  // pays neither the DP nor a from-scratch schedule build.
   if (base_has_dp_ && base.process_count() == base_.process_count()) {
     std::int32_t diff_pid = -1;
     int diffs = 0;
@@ -182,10 +234,9 @@ EvalContext::Outcome EvalContext::rebase(const PolicyAssignment& base) {
         }
       }
       if (hit) {
+        rebuild_base_schedule(base);  // resumes against the old base_
         base_ = base;
         ++version_;
-        base_sched_ = list_schedule(app_, arch_, base_, base_log_);
-        base_has_log_ = true;
         rebuild_base_lookups();
         base_has_dp_ = true;
         rebases_.fetch_add(1, std::memory_order_relaxed);
@@ -195,11 +246,10 @@ EvalContext::Outcome EvalContext::rebase(const PolicyAssignment& base) {
     }
   }
 
+  invalidate_winner_cache();
+  rebuild_base_schedule(base);  // resumes against the old base_ when it can
   base_ = base;
   ++version_;
-  invalidate_winner_cache();
-  base_sched_ = list_schedule(app_, arch_, base_, base_log_);
-  base_has_log_ = true;
   base_dag_ = build_wcsl_dag(app_, arch_, base_, k, base_sched_);
   const int total = base_dag_.g.vertex_count();
 
@@ -214,12 +264,11 @@ EvalContext::Outcome EvalContext::rebase(const PolicyAssignment& base) {
 }
 
 Time EvalContext::rebase_fault_free(const PolicyAssignment& base) {
-  base_ = base;
-  ++version_;
   invalidate_winner_cache();
   base_has_dp_ = false;
-  base_sched_ = list_schedule(app_, arch_, base_, base_log_);
-  base_has_log_ = true;
+  rebuild_base_schedule(base);
+  base_ = base;
+  ++version_;
   rebases_.fetch_add(1, std::memory_order_relaxed);
   return base_sched_.makespan;
 }
@@ -430,6 +479,11 @@ EvalStats EvalContext::stats() const {
   s.ls_events_resumed = ls_events_resumed_.load(std::memory_order_relaxed);
   s.heap_pops = heap_pops_.load(std::memory_order_relaxed);
   s.rebase_cache_hits = rebase_cache_hits_.load(std::memory_order_relaxed);
+  s.rebase_log_recorded =
+      rebase_log_recorded_.load(std::memory_order_relaxed);
+  s.rebase_log_events_resumed =
+      rebase_log_events_resumed_.load(std::memory_order_relaxed);
+  s.rebase_full_builds = rebase_full_builds_.load(std::memory_order_relaxed);
   return s;
 }
 

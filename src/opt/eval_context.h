@@ -21,10 +21,16 @@
 //     predecessor set are unchanged, and whose predecessors are all clean,
 //     reuses the cached row; everything downstream of a change is
 //     recomputed (dirty-successor propagation).
-//   * During a sweep the best candidate's schedule + DAG + DP rows are
-//     kept; a rebase() onto exactly that winning move adopts them (a
-//     pointer swap plus a schedule-log rebuild) instead of re-running the
-//     DP -- the common accept step of the tabu loops becomes near-free.
+//   * During a sweep the best candidate's DAG + DP rows are kept; a
+//     rebase() onto exactly that winning move adopts them (a pointer swap)
+//     instead of re-running the DP -- the common accept step of the search
+//     engine's loop becomes near-free.
+//   * Any rebase whose new base differs from the old in a single plan
+//     rebuilds the base schedule by *record-while-resuming*: the accepted
+//     move is replayed from the old log's nearest safe snapshot while a
+//     complete log for the new base is emitted
+//     (list_schedule_resume(..., record)), so accepting a move no longer
+//     pays a from-scratch schedule build to stay resumable.
 //
 // Results are bit-identical to a from-scratch evaluation: the resumed list
 // schedule is exact by construction (property-tested against full
@@ -147,6 +153,10 @@ class EvalContext {
   void maybe_cache_winner(Workspace& ws, ProcessId pid,
                           const Outcome& outcome);
   void invalidate_winner_cache();
+  /// Rebuilds base_sched_ + base_log_ for `base` (the member base_ still
+  /// holds the OLD base): record-while-resuming when the bases differ in
+  /// exactly one plan and a log exists, from-scratch otherwise.
+  void rebuild_base_schedule(const PolicyAssignment& base);
   void rebuild_base_lookups();
   [[nodiscard]] Outcome outcome_from_base_rows() const;
   [[nodiscard]] Time penalized_cost(const std::vector<Time>& process_finish,
@@ -194,6 +204,9 @@ class EvalContext {
   std::atomic<long long> ls_events_resumed_{0};
   std::atomic<long long> heap_pops_{0};
   std::atomic<long long> rebase_cache_hits_{0};
+  std::atomic<long long> rebase_log_recorded_{0};
+  std::atomic<long long> rebase_log_events_resumed_{0};
+  std::atomic<long long> rebase_full_builds_{0};
 };
 
 }  // namespace ftes

@@ -23,14 +23,23 @@ struct EvalStats {
   long long dp_vertices_total = 0;  ///< DP rows needed by incremental evals
   long long dp_vertices_reused = 0; ///< of those, rows served from the cache
 
-  // List-scheduler incrementality (move evaluations only; rebases always
-  // rebuild in full to record a fresh checkpoint log).
+  // List-scheduler incrementality (move evaluations only; accepted-move
+  // rebases are broken out separately below).
   long long ls_full_builds = 0;     ///< move schedules built from scratch
   long long ls_resumes = 0;         ///< move schedules resumed from a snapshot
   long long ls_events_total = 0;    ///< placement events move schedules needed
   long long ls_events_resumed = 0;  ///< of those, served by snapshot prefixes
   long long heap_pops = 0;          ///< ready/tx queue pops in move schedules
   long long rebase_cache_hits = 0;  ///< rebases served by the move cache
+
+  // Accepted-move rebases: a rebase onto a single-plan diff replays the
+  // move from the old base's log while recording the new base's log
+  // (record-while-resuming) instead of paying a from-scratch build.
+  long long rebase_log_recorded = 0;  ///< rebase logs produced by resume
+  /// Of the rebase schedules' placement events, those served by the old
+  /// base's snapshot prefix during record-while-resuming.
+  long long rebase_log_events_resumed = 0;
+  long long rebase_full_builds = 0;  ///< rebase schedules built from scratch
 
   /// Fraction of DP rows served from the cache across incremental evals.
   [[nodiscard]] double dp_reuse_fraction() const {
@@ -62,6 +71,9 @@ struct EvalStats {
     ls_events_resumed += other.ls_events_resumed;
     heap_pops += other.heap_pops;
     rebase_cache_hits += other.rebase_cache_hits;
+    rebase_log_recorded += other.rebase_log_recorded;
+    rebase_log_events_resumed += other.rebase_log_events_resumed;
+    rebase_full_builds += other.rebase_full_builds;
   }
 
   /// Counter deltas since `earlier` (used to attribute a shared context's
@@ -81,6 +93,9 @@ struct EvalStats {
     d.ls_events_resumed -= earlier.ls_events_resumed;
     d.heap_pops -= earlier.heap_pops;
     d.rebase_cache_hits -= earlier.rebase_cache_hits;
+    d.rebase_log_recorded -= earlier.rebase_log_recorded;
+    d.rebase_log_events_resumed -= earlier.rebase_log_events_resumed;
+    d.rebase_full_builds -= earlier.rebase_full_builds;
     return d;
   }
 };

@@ -1,13 +1,13 @@
 #include "opt/mapping_opt.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
 #include "opt/eval_context.h"
-#include "opt/tabu.h"
+#include "opt/search_engine.h"
 #include "sched/list_scheduler.h"
 #include "util/random.h"
-#include "util/thread_pool.h"
 
 namespace ftes {
 
@@ -43,92 +43,83 @@ PolicyAssignment bare_greedy(const Application& app,
   return pa;
 }
 
+/// Neighborhood + objective of the FT-ignorant mapping search: sampled
+/// remap moves on copy 0, judged by the fault-free list-schedule makespan.
+class MappingProblem final : public SearchProblem {
+ public:
+  MappingProblem(const Application& app, const Architecture& arch,
+                 EvalContext& eval, const MappingOptOptions& options)
+      : app_(app),
+        arch_(arch),
+        eval_(eval),
+        rng_(options.seed),
+        neighborhood_(options.neighborhood) {}
+
+  bool neighborhood(int /*iteration*/, const PolicyAssignment& current,
+                    bool /*accepted_last*/, std::vector<Move>& out) override {
+    for (int s = 0; s < neighborhood_; ++s) {
+      const ProcessId pid{static_cast<std::int32_t>(
+          rng_.index(static_cast<std::size_t>(app_.process_count())))};
+      const Process& proc = app_.process(pid);
+      if (proc.fixed_mapping || proc.wcet.size() < 2) continue;
+      std::vector<NodeId> allowed;
+      for (NodeId n : arch_.node_ids()) {
+        if (proc.can_run_on(n)) allowed.push_back(n);
+      }
+      ProcessPlan plan = current.plan(pid);
+      const NodeId to = allowed[rng_.index(allowed.size())];
+      if (to == plan.copies[0].node) continue;
+      plan.copies[0].node = to;
+      out.push_back(
+          Move{pid, std::move(plan), TabuList::Key{0, pid.get(), 0, to.get()}});
+    }
+    return true;
+  }
+
+  Time evaluate(const Move& move) override {
+    return eval_.fault_free_makespan(move.pid, move.plan);
+  }
+
+  Time commit(const PolicyAssignment& current) override {
+    // Rebasing builds the base schedule + checkpoint log (so candidate
+    // moves resume instead of rescheduling from scratch) and reports its
+    // makespan.
+    return eval_.rebase_fault_free(current);
+  }
+
+ private:
+  const Application& app_;
+  const Architecture& arch_;
+  EvalContext& eval_;
+  Rng rng_;
+  int neighborhood_;
+};
+
 }  // namespace
 
 MappingOptResult optimize_mapping_no_ft(const Application& app,
                                         const Architecture& arch,
                                         const MappingOptOptions& options) {
-  Rng rng(options.seed);
-  TabuList tabu(options.tenure);
-  const int threads = resolve_threads(options.threads);
-  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
   // Fault-free objective: the evaluator only rebuilds list schedules, so
   // the fault model is irrelevant (k = 0 keeps validation happy).
   EvalContext eval(app, arch, FaultModel{0});
+  MappingProblem problem(app, arch, eval, options);
 
-  PolicyAssignment current = bare_greedy(app, arch);
-  // Rebasing builds the base schedule + checkpoint log (so candidate moves
-  // resume instead of rescheduling from scratch) and reports its makespan.
-  Time current_cost = eval.rebase_fault_free(current);
-  PolicyAssignment best = current;
-  Time best_cost = current_cost;
-  int evaluations = 1;
-
-  // Sampled remap moves awaiting evaluation (one rewritten plan each, not
-  // a whole assignment copy); generation is serial on the RNG, makespan
-  // evaluation is pure and parallel (same result for any thread count).
-  struct Candidate {
-    ProcessId pid;
-    ProcessPlan plan;
-    TabuList::Key key;
-  };
-  std::vector<Candidate> candidates;
-  std::vector<Time> costs;
-
-  for (int iter = 0; iter < options.iterations; ++iter) {
-    if (options.cancel && options.cancel->poll()) break;
-    candidates.clear();
-    for (int s = 0; s < options.neighborhood; ++s) {
-      const ProcessId pid{static_cast<std::int32_t>(
-          rng.index(static_cast<std::size_t>(app.process_count())))};
-      const Process& proc = app.process(pid);
-      if (proc.fixed_mapping || proc.wcet.size() < 2) continue;
-      std::vector<NodeId> allowed;
-      for (NodeId n : arch.node_ids()) {
-        if (proc.can_run_on(n)) allowed.push_back(n);
-      }
-      ProcessPlan plan = current.plan(pid);
-      const NodeId to = allowed[rng.index(allowed.size())];
-      if (to == plan.copies[0].node) continue;
-      plan.copies[0].node = to;
-      const TabuList::Key key{0, pid.get(), 0, to.get()};
-      candidates.push_back(Candidate{pid, std::move(plan), key});
-    }
-
-    costs.assign(candidates.size(), kTimeInfinity);
-    parallel_for(pool, candidates.size(), threads, [&](std::size_t i) {
-      // Chunk-granular cancellation point (see policy_assignment.cpp).
-      if (options.cancel && options.cancel->poll()) return;
-      costs[i] =
-          eval.fault_free_makespan(candidates[i].pid, candidates[i].plan);
-    });
-    if (options.cancel && options.cancel->cancelled()) break;
-    evaluations += static_cast<int>(candidates.size());
-
-    Time best_move_cost = kTimeInfinity;
-    const Candidate* best_move = nullptr;
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      if (tabu.is_tabu(candidates[i].key, iter, costs[i], best_cost)) continue;
-      if (costs[i] < best_move_cost) {
-        best_move_cost = costs[i];
-        best_move = &candidates[i];
-      }
-    }
-    if (!best_move) continue;
-    current.plan(best_move->pid) = best_move->plan;
-    eval.rebase_fault_free(current);
-    current_cost = best_move_cost;
-    tabu.make_tabu(best_move->key, iter);
-    if (current_cost < best_cost) {
-      best_cost = current_cost;
-      best = current;
-    }
-  }
+  SearchOptions search;
+  // Non-positive budgets historically ran zero iterations, never forever.
+  search.max_iterations = std::max(0, options.iterations);
+  search.tenure = options.tenure;
+  search.threads = options.threads;
+  search.pool = options.pool;
+  search.cancel = options.cancel;
+  SearchResult found =
+      neighborhood_search(problem, bare_greedy(app, arch), search);
 
   MappingOptResult result;
-  result.assignment = best;
-  result.makespan = best_cost;
-  result.evaluations = evaluations;
+  result.assignment = std::move(found.best);
+  result.makespan = found.best_cost;
+  result.evaluations = found.stats.evaluations;
+  result.search_stats = found.stats;
   result.eval_stats = eval.stats();
   return result;
 }

@@ -10,6 +10,7 @@
 #include "arch/architecture.h"
 #include "fault/policy.h"
 #include "opt/eval_stats.h"
+#include "opt/search_engine.h"
 #include "util/cancellation.h"
 #include "util/time_types.h"
 
@@ -39,7 +40,8 @@ struct MappingOptResult {
   PolicyAssignment assignment;
   Time makespan = 0;  ///< fault-free list-schedule makespan
   int evaluations = 0;
-  EvalStats eval_stats;  ///< evaluator counters spent by this run
+  EvalStats eval_stats;      ///< evaluator counters spent by this run
+  SearchStats search_stats;  ///< engine counters (opt/search_engine.h)
 };
 
 /// Tabu search over process-to-node mapping minimizing the fault-free

@@ -8,11 +8,10 @@
 
 #include "fault/recovery.h"
 #include "opt/eval_context.h"
-#include "opt/tabu.h"
+#include "opt/search_engine.h"
 #include "sched/wcsl.h"
 #include "util/logging.h"
 #include "util/random.h"
-#include "util/thread_pool.h"
 
 namespace ftes {
 
@@ -112,6 +111,143 @@ ProcessPlan initial_plan(const Process& proc, const Architecture& arch,
   return plan;
 }
 
+/// Neighborhood + objective of the mapping + FT policy assignment tabu
+/// search: the three move families of Section 6 (remap a copy, switch the
+/// policy kind, adjust a checkpoint count), judged by the WCSL analysis
+/// plus soft local-deadline penalties.
+class PolicyAssignmentProblem final : public SearchProblem {
+ public:
+  // Move encoding for the tabu list: (family, process, a, b).
+  enum MoveFamily { kRemap = 0, kPolicy = 1, kCheckpoint = 2 };
+
+  PolicyAssignmentProblem(const Application& app, const Architecture& arch,
+                          const FaultModel& model, EvalContext& eval,
+                          const OptimizeOptions& options)
+      : app_(app),
+        arch_(arch),
+        model_(model),
+        eval_(eval),
+        options_(options),
+        rng_(options.seed) {}
+
+  bool neighborhood(int /*iteration*/, const PolicyAssignment& current,
+                    bool /*accepted_last*/, std::vector<Move>& out) override {
+    for (int s = 0; s < options_.neighborhood; ++s) {
+      TabuList::Key key{};
+      const ProcessId pid{
+          static_cast<std::int32_t>(rng_.index(
+              static_cast<std::size_t>(app_.process_count())))};
+      const Process& proc = app_.process(pid);
+      ProcessPlan plan = current.plan(pid);
+      const std::vector<NodeId> allowed = allowed_nodes(proc, arch_);
+
+      // Pick an applicable move family.
+      std::vector<int> families;
+      if (options_.optimize_mapping && allowed.size() > 1) {
+        families.push_back(kRemap);
+      }
+      if (options_.space == PolicySpace::kFull && !proc.fixed_policy) {
+        families.push_back(kPolicy);
+      }
+      if (options_.optimize_checkpoints &&
+          options_.space != PolicySpace::kReexecutionOnly &&
+          options_.space != PolicySpace::kReplicationOnly) {
+        families.push_back(kCheckpoint);
+      }
+      if (families.empty()) continue;
+      const int family = families[rng_.index(families.size())];
+
+      if (family == kRemap) {
+        const int copy = static_cast<int>(rng_.index(plan.copies.size()));
+        if (copy == 0 && proc.fixed_mapping) continue;
+        CopyPlan& cp = plan.copies[static_cast<std::size_t>(copy)];
+        const NodeId to = allowed[rng_.index(allowed.size())];
+        if (to == cp.node) continue;
+        cp.node = to;
+        if (cp.checkpoints >= 1 && options_.optimize_checkpoints) {
+          cp.checkpoints = local_opt_checkpoints(proc, to, cp.recoveries,
+                                                 options_.max_checkpoints);
+        }
+        key = {kRemap, pid.get(), copy, to.get()};
+      } else if (family == kPolicy) {
+        // Switch between checkpointing / replication / hybrid.
+        const NodeId home = plan.copies[0].node;
+        int choice =
+            static_cast<int>(rng_.uniform_int(0, model_.k >= 2 ? 2 : 1));
+        if (choice == 0 && plan.kind == PolicyKind::kCheckpointing) choice = 1;
+        if (choice == 1 && plan.kind == PolicyKind::kReplication) choice = 0;
+        if (choice == 0) {
+          plan = make_checkpointing_plan(model_.k, 1);
+          plan.copies[0].node = home;
+          if (options_.optimize_checkpoints) {
+            plan.copies[0].checkpoints = local_opt_checkpoints(
+                proc, home, model_.k, options_.max_checkpoints);
+          }
+        } else if (choice == 1) {
+          plan = make_replication_plan(model_.k);
+          plan.copies[0].node = home;
+          for (int j = 1; j < plan.copy_count(); ++j) {
+            plan.copies[static_cast<std::size_t>(j)].node =
+                allowed[rng_.index(allowed.size())];
+          }
+        } else {
+          const int q = static_cast<int>(rng_.uniform_int(1, model_.k - 1));
+          plan = make_hybrid_plan(model_.k, q, 1);
+          plan.copies[0].node = home;
+          if (options_.optimize_checkpoints) {
+            plan.copies[0].checkpoints = local_opt_checkpoints(
+                proc, home, plan.copies[0].recoveries,
+                options_.max_checkpoints);
+          }
+          for (int j = 1; j < plan.copy_count(); ++j) {
+            plan.copies[static_cast<std::size_t>(j)].node =
+                allowed[rng_.index(allowed.size())];
+          }
+        }
+        if (proc.fixed_mapping) plan.copies[0].node = *proc.fixed_mapping;
+        key = {kPolicy, pid.get(), static_cast<int>(plan.kind),
+               plan.copy_count()};
+      } else {
+        // Checkpoint count +-1 on a checkpointed copy.
+        std::vector<int> checkpointed;
+        for (int j = 0; j < plan.copy_count(); ++j) {
+          if (plan.copies[static_cast<std::size_t>(j)].checkpoints >= 1) {
+            checkpointed.push_back(j);
+          }
+        }
+        if (checkpointed.empty()) continue;
+        const int copy = checkpointed[rng_.index(checkpointed.size())];
+        CopyPlan& cp = plan.copies[static_cast<std::size_t>(copy)];
+        const int delta = rng_.chance(0.5) ? 1 : -1;
+        const int next =
+            std::clamp(cp.checkpoints + delta, 1, options_.max_checkpoints);
+        if (next == cp.checkpoints) continue;
+        cp.checkpoints = next;
+        key = {kCheckpoint, pid.get(), copy, next};
+      }
+
+      out.push_back(Move{pid, std::move(plan), key});
+    }
+    return true;
+  }
+
+  Time evaluate(const Move& move) override {
+    return eval_.evaluate_move(move.pid, move.plan).cost;
+  }
+
+  Time commit(const PolicyAssignment& current) override {
+    return eval_.rebase(current).cost;
+  }
+
+ private:
+  const Application& app_;
+  const Architecture& arch_;
+  const FaultModel& model_;
+  EvalContext& eval_;
+  const OptimizeOptions& options_;
+  Rng rng_;
+};
+
 }  // namespace
 
 PolicyAssignment greedy_initial(const Application& app,
@@ -158,10 +294,6 @@ OptimizeResult optimize_from(const Application& app, const Architecture& arch,
                              PolicyAssignment initial) {
   model.validate();
   initial.validate(app, model);
-  Rng rng(options.seed);
-  TabuList tabu(options.tenure);
-  const int threads = resolve_threads(options.threads);
-  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
   std::unique_ptr<EvalContext> owned_eval;
   EvalContext* eval = options.eval;
   if (!eval) {
@@ -170,173 +302,26 @@ OptimizeResult optimize_from(const Application& app, const Architecture& arch,
   }
   const EvalStats stats_before = eval->stats();
 
-  PolicyAssignment current = std::move(initial);
-  Time current_cost = eval->rebase(current).cost;
-  PolicyAssignment best = current;
-  Time best_cost = current_cost;
-  int evaluations = 1;
-
-  // Move encoding for the tabu list: (family, process, a, b).
-  enum MoveFamily { kRemap = 0, kPolicy = 1, kCheckpoint = 2 };
-
-  // A sampled neighborhood move awaiting evaluation: the one plan a move
-  // rewrites (never a whole PolicyAssignment copy).  Generation consumes
-  // the iteration's RNG serially; the incremental WCSL evaluations are
-  // pure and run concurrently, so results do not depend on the thread
-  // count.
-  struct Candidate {
-    ProcessId pid;
-    ProcessPlan plan;
-    TabuList::Key key;
-  };
-  std::vector<Candidate> candidates;
-  std::vector<Time> costs;
-
-  for (int iter = 0; iter < options.iterations; ++iter) {
-    if (options.cancel && options.cancel->poll()) break;
-    // --- phase 1: sample the neighborhood (serial, owns the RNG) ---------
-    candidates.clear();
-    for (int s = 0; s < options.neighborhood; ++s) {
-      TabuList::Key key{};
-      const ProcessId pid{
-          static_cast<std::int32_t>(rng.index(
-              static_cast<std::size_t>(app.process_count())))};
-      const Process& proc = app.process(pid);
-      ProcessPlan plan = current.plan(pid);
-      const std::vector<NodeId> allowed = allowed_nodes(proc, arch);
-
-      // Pick an applicable move family.
-      std::vector<int> families;
-      if (options.optimize_mapping && allowed.size() > 1) {
-        families.push_back(kRemap);
-      }
-      if (options.space == PolicySpace::kFull && !proc.fixed_policy) {
-        families.push_back(kPolicy);
-      }
-      if (options.optimize_checkpoints &&
-          options.space != PolicySpace::kReexecutionOnly &&
-          options.space != PolicySpace::kReplicationOnly) {
-        families.push_back(kCheckpoint);
-      }
-      if (families.empty()) continue;
-      const int family = families[rng.index(families.size())];
-
-      if (family == kRemap) {
-        const int copy = static_cast<int>(rng.index(plan.copies.size()));
-        if (copy == 0 && proc.fixed_mapping) continue;
-        CopyPlan& cp = plan.copies[static_cast<std::size_t>(copy)];
-        const NodeId to = allowed[rng.index(allowed.size())];
-        if (to == cp.node) continue;
-        cp.node = to;
-        if (cp.checkpoints >= 1 && options.optimize_checkpoints) {
-          cp.checkpoints = local_opt_checkpoints(proc, to, cp.recoveries,
-                                                 options.max_checkpoints);
-        }
-        key = {kRemap, pid.get(), copy, to.get()};
-      } else if (family == kPolicy) {
-        // Switch between checkpointing / replication / hybrid.
-        const NodeId home = plan.copies[0].node;
-        int choice =
-            static_cast<int>(rng.uniform_int(0, model.k >= 2 ? 2 : 1));
-        if (choice == 0 && plan.kind == PolicyKind::kCheckpointing) choice = 1;
-        if (choice == 1 && plan.kind == PolicyKind::kReplication) choice = 0;
-        if (choice == 0) {
-          plan = make_checkpointing_plan(model.k, 1);
-          plan.copies[0].node = home;
-          if (options.optimize_checkpoints) {
-            plan.copies[0].checkpoints = local_opt_checkpoints(
-                proc, home, model.k, options.max_checkpoints);
-          }
-        } else if (choice == 1) {
-          plan = make_replication_plan(model.k);
-          plan.copies[0].node = home;
-          for (int j = 1; j < plan.copy_count(); ++j) {
-            plan.copies[static_cast<std::size_t>(j)].node =
-                allowed[rng.index(allowed.size())];
-          }
-        } else {
-          const int q = static_cast<int>(rng.uniform_int(1, model.k - 1));
-          plan = make_hybrid_plan(model.k, q, 1);
-          plan.copies[0].node = home;
-          if (options.optimize_checkpoints) {
-            plan.copies[0].checkpoints = local_opt_checkpoints(
-                proc, home, plan.copies[0].recoveries, options.max_checkpoints);
-          }
-          for (int j = 1; j < plan.copy_count(); ++j) {
-            plan.copies[static_cast<std::size_t>(j)].node =
-                allowed[rng.index(allowed.size())];
-          }
-        }
-        if (proc.fixed_mapping) plan.copies[0].node = *proc.fixed_mapping;
-        key = {kPolicy, pid.get(), static_cast<int>(plan.kind),
-               plan.copy_count()};
-      } else {
-        // Checkpoint count +-1 on a checkpointed copy.
-        std::vector<int> checkpointed;
-        for (int j = 0; j < plan.copy_count(); ++j) {
-          if (plan.copies[static_cast<std::size_t>(j)].checkpoints >= 1) {
-            checkpointed.push_back(j);
-          }
-        }
-        if (checkpointed.empty()) continue;
-        const int copy = checkpointed[rng.index(checkpointed.size())];
-        CopyPlan& cp = plan.copies[static_cast<std::size_t>(copy)];
-        const int delta = rng.chance(0.5) ? 1 : -1;
-        const int next =
-            std::clamp(cp.checkpoints + delta, 1, options.max_checkpoints);
-        if (next == cp.checkpoints) continue;
-        cp.checkpoints = next;
-        key = {kCheckpoint, pid.get(), copy, next};
-      }
-
-      candidates.push_back(Candidate{pid, std::move(plan), key});
-    }
-
-    // --- phase 2: evaluate all sampled moves (parallel, pure) ------------
-    costs.assign(candidates.size(), kTimeInfinity);
-    parallel_for(pool, candidates.size(), threads, [&](std::size_t i) {
-      // Chunk-granular cancellation point: a watchdog deadline fires
-      // within one candidate evaluation instead of one neighborhood.
-      if (options.cancel && options.cancel->poll()) return;
-      costs[i] =
-          eval->evaluate_move(candidates[i].pid, candidates[i].plan).cost;
-    });
-    // A cancellation observed mid-neighborhood leaves gaps in `costs`;
-    // selecting from a partially evaluated sample would be timing-
-    // dependent, so the iteration is abandoned wholesale.
-    if (options.cancel && options.cancel->cancelled()) break;
-    evaluations += static_cast<int>(candidates.size());
-
-    // --- phase 3: pick the admissible move (serial, in sample order) -----
-    Time best_move_cost = kTimeInfinity;
-    const Candidate* best_move = nullptr;
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      if (tabu.is_tabu(candidates[i].key, iter, costs[i], best_cost)) continue;
-      if (costs[i] < best_move_cost) {
-        best_move_cost = costs[i];
-        best_move = &candidates[i];
-      }
-    }
-
-    if (!best_move) continue;  // no admissible move
-    current.plan(best_move->pid) = best_move->plan;
-    eval->rebase(current);
-    current_cost = best_move_cost;
-    tabu.make_tabu(best_move->key, iter);
-    if (current_cost < best_cost) {
-      best_cost = current_cost;
-      best = current;
-    }
-  }
+  PolicyAssignmentProblem problem(app, arch, model, *eval, options);
+  SearchOptions search;
+  // Non-positive budgets historically ran zero iterations, never forever.
+  search.max_iterations = std::max(0, options.iterations);
+  search.tenure = options.tenure;
+  search.threads = options.threads;
+  search.pool = options.pool;
+  search.cancel = options.cancel;
+  SearchResult found =
+      neighborhood_search(problem, std::move(initial), search);
 
   OptimizeResult result;
-  result.assignment = best;
+  result.assignment = std::move(found.best);
   // Served from the cached base DP when the search ends on its best
   // assignment (the common case); full evaluation otherwise.
-  const WcslResult wcsl = eval->evaluate_full(best);
+  const WcslResult wcsl = eval->evaluate_full(result.assignment);
   result.wcsl = wcsl.makespan;
   result.schedulable = wcsl.meets_deadlines(app);
-  result.evaluations = evaluations;
+  result.evaluations = found.stats.evaluations;
+  result.search_stats = found.stats;
   result.eval_stats = eval->stats().since(stats_before);
   return result;
 }

@@ -17,6 +17,7 @@
 #include "fault/fault_model.h"
 #include "fault/policy.h"
 #include "opt/eval_stats.h"
+#include "opt/search_engine.h"
 #include "util/cancellation.h"
 #include "util/time_types.h"
 
@@ -75,6 +76,8 @@ struct OptimizeResult {
   /// Evaluator counters spent by this run (cache reuse, full vs
   /// incremental evaluations); see opt/eval_stats.h.
   EvalStats eval_stats;
+  /// Engine counters of the tabu search (opt/search_engine.h).
+  SearchStats search_stats;
 };
 
 /// Greedy initial solution: processes in topological order, copy-0 mapping

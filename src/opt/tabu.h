@@ -1,10 +1,11 @@
 // Small tabu-search bookkeeping utilities shared by the optimizers of
-// Section 6 ([13]'s mapping + policy assignment heuristic family).
+// Section 6 ([13]'s mapping + policy assignment heuristic family), driven
+// through the generic engine of opt/search_engine.h.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <tuple>
+#include <unordered_map>
 
 #include "util/time_types.h"
 
@@ -15,6 +16,15 @@ namespace ftes {
 /// wanting the usual aspiration criterion (a tabu move that improves the
 /// global best is accepted anyway) use the four-argument overload below.
 /// Keys are 4-int tuples encoded by the caller.
+///
+/// Storage is a hash table keyed by the packed attribute (the lookup runs
+/// once per sampled candidate, so the old ordered std::map's pointer-chasing
+/// log(n) compare chain was pure overhead -- recency needs no order).  The
+/// hash finalizes both 64-bit halves of the key through SplitMix64's mixer,
+/// so near-identical keys (the common case: same move family, neighbouring
+/// process ids) land in unrelated buckets.  Semantics are untouched and no
+/// operation iterates the table, so search results cannot depend on hash
+/// order -- the golden outputs pin this.
 class TabuList {
  public:
   explicit TabuList(int tenure) : tenure_(tenure) {}
@@ -42,8 +52,30 @@ class TabuList {
   void clear() { expiry_.clear(); }
 
  private:
+  struct KeyHash {
+    static std::uint64_t mix(std::uint64_t x) {  // SplitMix64 finalizer
+      x += 0x9E3779B97F4A7C15ull;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+      return x ^ (x >> 31);
+    }
+    std::size_t operator()(const Key& key) const {
+      const std::uint64_t lo =
+          (static_cast<std::uint64_t>(
+               static_cast<std::uint32_t>(std::get<0>(key)))
+           << 32) |
+          static_cast<std::uint32_t>(std::get<1>(key));
+      const std::uint64_t hi =
+          (static_cast<std::uint64_t>(
+               static_cast<std::uint32_t>(std::get<2>(key)))
+           << 32) |
+          static_cast<std::uint32_t>(std::get<3>(key));
+      return static_cast<std::size_t>(mix(lo ^ mix(hi)));
+    }
+  };
+
   int tenure_;
-  std::map<Key, int> expiry_;
+  std::unordered_map<Key, int, KeyHash> expiry_;
 };
 
 }  // namespace ftes

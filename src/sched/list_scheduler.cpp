@@ -64,6 +64,38 @@ PolicyAssignment strip_fault_tolerance(const Application& app,
 
 namespace {
 
+/// Exact event count of a full build: every copy placement plus one bus
+/// transmission per (cross-node message, producer copy).  Shared by
+/// Scheduler::total_events and default_snapshot_interval so the event
+/// definition cannot drift between them.
+std::size_t count_total_events(const Application& app,
+                               const PolicyAssignment& assignment) {
+  std::size_t events = 0;
+  for (int i = 0; i < assignment.process_count(); ++i) {
+    events +=
+        static_cast<std::size_t>(assignment.plan(ProcessId{i}).copy_count());
+  }
+  for (const Message& m : app.messages()) {
+    const ProcessPlan& sp = assignment.plan(m.src);
+    const ProcessPlan& dp = assignment.plan(m.dst);
+    for (const CopyPlan& s : sp.copies) {
+      for (const CopyPlan& d : dp.copies) {
+        if (d.node != s.node) {
+          ++events;
+          break;
+        }
+      }
+    }
+  }
+  return events;
+}
+
+/// The default snapshot interval for a build of that many events.
+int interval_for_events(std::size_t events) {
+  return std::max(
+      1, static_cast<int>(std::llround(std::sqrt(static_cast<double>(events)))));
+}
+
 struct CopyVertex {
   CopyRef ref;
   NodeId node;
@@ -160,23 +192,10 @@ class Scheduler {
     return first_copy[static_cast<std::size_t>(p.get())] + copy;
   }
 
-  /// Exact event count of a full run: every copy placement plus one bus
-  /// transmission per (cross-node message, producer copy).
+  /// Exact event count of a full run (count_total_events above; the copy
+  /// placements equal verts.size() by construction).
   [[nodiscard]] std::size_t total_events() const {
-    std::size_t tx = 0;
-    for (const Message& m : app_.messages()) {
-      const ProcessPlan& sp = assignment_.plan(m.src);
-      const ProcessPlan& dp = assignment_.plan(m.dst);
-      for (const CopyPlan& s : sp.copies) {
-        for (const CopyPlan& d : dp.copies) {
-          if (d.node != s.node) {
-            ++tx;
-            break;
-          }
-        }
-      }
-    }
-    return verts.size() + tx;
+    return count_total_events(app_, assignment_);
   }
 
   // ---- dynamic state ----------------------------------------------------
@@ -359,6 +378,11 @@ class Scheduler {
         tie.contenders.push_back(e.vertex);
         ready.push(e);
       }
+      // Canonical order: the set of contenders is a pure function of the
+      // tied state, but heap pop order depends on ranks -- which differ
+      // between a base build and a resumed candidate recording its own
+      // log.  (tie.winner keeps the actual pick.)
+      std::sort(tie.contenders.begin(), tie.contenders.end());
       log->ties.push_back(std::move(tie));
     }
   }
@@ -373,8 +397,24 @@ class Scheduler {
     s.placed = placed;
     s.deps_left = deps_left;
     s.data_ready = data_ready;
-    s.ready_heap = ready.items();
+    // Canonical heap images: entries re-keyed to their *current* start
+    // (lazy keys may be stale, and staleness depends on the refresh
+    // history, which a resumed run does not share with a from-scratch
+    // one) and sorted by the queue order.  Restoring a re-keyed entry is
+    // sound -- the true start only grows, so the key stays a valid lower
+    // bound -- and the snapshot becomes a pure function of the semantic
+    // state (placed / deps / readiness / node- and bus-free times).
+    s.ready_heap.reserve(ready.items().size());
+    for (const ReadyEntry& e : ready.items()) {
+      s.ready_heap.push_back(ReadyEntry{start_of(e.vertex), e.rank, e.vertex});
+    }
+    std::sort(s.ready_heap.begin(), s.ready_heap.end(),
+              [](const ReadyEntry& a, const ReadyEntry& b) {
+                return ReadyLess{}(a, b);
+              });
     s.tx_heap = txq.items();
+    std::sort(s.tx_heap.begin(), s.tx_heap.end(),
+              [](const TxEntry& a, const TxEntry& b) { return TxLess{}(a, b); });
     s.partial = result;
     log->snapshots.push_back(std::move(s));
   }
@@ -414,9 +454,7 @@ ListSchedule build_schedule(const Application& app, const Architecture& arch,
   s.build_static();
   if (log) {
     if (snapshot_interval <= 0) {
-      snapshot_interval = std::max(
-          1, static_cast<int>(std::llround(
-                 std::sqrt(static_cast<double>(s.total_events())))));
+      snapshot_interval = interval_for_events(s.total_events());
     }
     log->snapshot_interval = snapshot_interval;
     s.log = log;
@@ -441,13 +479,19 @@ ListSchedule list_schedule(const Application& app, const Architecture& arch,
                         nullptr);
 }
 
+int default_snapshot_interval(const Application& app,
+                              const PolicyAssignment& assignment) {
+  return interval_for_events(count_total_events(app, assignment));
+}
+
 ListSchedule list_schedule_resume(const Application& app,
                                   const Architecture& arch,
                                   const PolicyAssignment& base,
                                   const ScheduleCheckpointLog& log,
                                   const PolicyAssignment& candidate,
                                   ProcessId moved,
-                                  ListScheduleResumeStats* stats) {
+                                  ListScheduleResumeStats* stats,
+                                  ScheduleCheckpointLog* record) {
   ListScheduleResumeStats local;
   Scheduler s(app, arch, candidate);
   s.build_static();
@@ -552,6 +596,22 @@ ListSchedule list_schedule_resume(const Application& app,
     }
   }
 
+  if (record) {
+    // Record-while-resuming: the replayed suffix records live through the
+    // normal logging hooks; prefix content is transplanted from the base
+    // log below (resume path) or recorded in full (fallback path).  The
+    // recorded log inherits the base interval so its prefix snapshots can
+    // be taken verbatim from the base's (both sit at multiples of it).
+    // `record` must be a distinct object: clearing it in place would free
+    // the very snapshots the transplant still reads.
+    assert(record != &log);
+    record->snapshot_interval = log.snapshot_interval;
+    record->snapshots.clear();
+    record->ties.clear();
+    record->event_count = 0;
+    s.log = record;
+  }
+
   if (!snap || snap->event_index == 0) {
     s.init_dynamic();
   } else {
@@ -648,6 +708,126 @@ ListSchedule list_schedule_resume(const Application& app,
     }
     s.ready.assign(std::move(entries));
     s.txq.assign(snap->tx_heap);
+
+    if (record) {
+      // ---- transplant the skipped prefix's log content ------------------
+      //
+      // Everything the replay does not re-execute is move-invariant by the
+      // resume-point bound: event indices (avail/placed) of prefix events,
+      // tie groups before the resume point (same contender sets -- a pure
+      // function of the tied state -- and same winners, re-judged above),
+      // and prefix snapshots (canonical, so equal to what a from-scratch
+      // candidate build would record at the same event, modulo the vertex
+      // remap and the candidate's ranks re-stamped below).  Entries whose
+      // events fall at or past the resume point are overwritten by the
+      // replay's own recording.
+      record->rank = s.rank;
+      record->avail_event.assign(cand_total, 0);
+      record->placed_event.assign(cand_total, 0);
+      for (int bv = 0; bv < base_total; ++bv) {
+        if (bv >= base_first_p && bv < base_p_end) continue;
+        const std::size_t cv = static_cast<std::size_t>(remap(bv));
+        record->avail_event[cv] =
+            log.avail_event[static_cast<std::size_t>(bv)];
+        record->placed_event[cv] =
+            log.placed_event[static_cast<std::size_t>(bv)];
+      }
+      // All copies of one process share their readiness index.  When the
+      // moved process's last inbound delivery happened in the prefix, the
+      // replay never re-delivers it, so the index must come from the base
+      // (it is at the resume point exactly -- the resume bound guarantees
+      // availability no earlier); a delivery during replay overwrites it.
+      const std::size_t shared_avail =
+          log.avail_event[static_cast<std::size_t>(base_first_p)];
+      for (int j = 0; j < cand_p_count; ++j) {
+        record->avail_event[static_cast<std::size_t>(
+            s.vertex_of(moved, j))] = shared_avail;
+      }
+      for (const ScheduleCheckpointLog::StartTie& tie : log.ties) {
+        if (tie.event >= snap->event_index) break;
+        ScheduleCheckpointLog::StartTie t;
+        t.event = tie.event;
+        t.winner = remap(tie.winner);
+        t.contenders.reserve(tie.contenders.size());
+        // Contenders are sorted by vertex id and the remap is monotone.
+        for (const int bv : tie.contenders) t.contenders.push_back(remap(bv));
+        record->ties.push_back(std::move(t));
+      }
+      for (const ScheduleSnapshot& bs : log.snapshots) {
+        if (bs.event_index >= snap->event_index) break;
+        ScheduleSnapshot ns;
+        ns.event_index = bs.event_index;
+        ns.remaining = bs.remaining + static_cast<std::size_t>(delta);
+        ns.bus_free = bs.bus_free;
+        ns.tx_seq = bs.tx_seq;
+        ns.node_free = bs.node_free;
+        ns.placed.assign(cand_total, 0);
+        ns.deps_left.assign(cand_total, 0);
+        ns.data_ready.assign(cand_total, 0);
+        ns.partial.first_copy = s.first_copy;
+        ns.partial.copies.assign(cand_total, ScheduledCopy{});
+        for (int bv = 0; bv < base_total; ++bv) {
+          if (bv >= base_first_p && bv < base_p_end) continue;
+          const std::size_t cv = static_cast<std::size_t>(remap(bv));
+          ns.placed[cv] = bs.placed[static_cast<std::size_t>(bv)];
+          ns.deps_left[cv] = bs.deps_left[static_cast<std::size_t>(bv)];
+          ns.data_ready[cv] = bs.data_ready[static_cast<std::size_t>(bv)];
+          ns.partial.copies[cv] =
+              bs.partial.copies[static_cast<std::size_t>(bv)];
+        }
+        // Same seeding rules as the dynamic-state transplant above: the
+        // moved process's copies share base copy 0's readiness, and its
+        // consumers count one dependency per candidate producer copy.
+        if (delta != 0) {
+          for (MessageId mid : app.outputs(moved)) {
+            const Message& m = app.message(mid);
+            const int count = candidate.plan(m.dst).copy_count();
+            for (int dj = 0; dj < count; ++dj) {
+              ns.deps_left[static_cast<std::size_t>(
+                  s.vertex_of(m.dst, dj))] += delta;
+            }
+          }
+        }
+        const int snap_deps =
+            bs.deps_left[static_cast<std::size_t>(base_first_p)];
+        const Time snap_ready =
+            bs.data_ready[static_cast<std::size_t>(base_first_p)];
+        for (int j = 0; j < cand_p_count; ++j) {
+          const std::size_t cv =
+              static_cast<std::size_t>(s.vertex_of(moved, j));
+          ns.deps_left[cv] = snap_deps;
+          ns.data_ready[cv] = snap_ready;
+        }
+        ns.partial.node_order.assign(
+            static_cast<std::size_t>(arch.node_count()), {});
+        for (std::size_t n = 0; n < bs.partial.node_order.size(); ++n) {
+          for (const int v : bs.partial.node_order[n]) {
+            ns.partial.node_order[n].push_back(remap(v));
+          }
+        }
+        ns.partial.messages = bs.partial.messages;
+        ns.partial.bus_order = bs.partial.bus_order;
+        ns.partial.makespan = bs.partial.makespan;
+        // Canonical ready image, rebuilt from the transplanted semantic
+        // state (ready == available and unplaced) under candidate ranks.
+        for (std::size_t cv = 0; cv < cand_total; ++cv) {
+          if (ns.placed[cv] || ns.deps_left[cv] != 0) continue;
+          const Time start = std::max(
+              {ns.data_ready[cv], s.verts[cv].release,
+               ns.node_free[static_cast<std::size_t>(
+                   s.verts[cv].node.get())]});
+          ns.ready_heap.push_back(
+              ReadyEntry{start, s.rank[cv], static_cast<int>(cv)});
+        }
+        std::sort(ns.ready_heap.begin(), ns.ready_heap.end(),
+                  [](const ReadyEntry& a, const ReadyEntry& b) {
+                    return ReadyLess{}(a, b);
+                  });
+        ns.tx_heap = bs.tx_heap;  // canonical and move-invariant (no moved
+                                  // producer placed, senders untouched)
+        record->snapshots.push_back(std::move(ns));
+      }
+    }
 
     local.resumed = true;
     local.events_resumed = snap->event_index;

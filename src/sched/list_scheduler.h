@@ -99,6 +99,14 @@ struct TxEntry {
 
 /// Full scheduler state between two placement events, restorable into a
 /// resumed run (possibly with the moved process's vertex ids remapped).
+///
+/// Snapshots are *canonical*: the heap images are re-keyed to their true
+/// start at snapshot time and sorted by the queue order, so a snapshot is
+/// a pure function of the scheduler's semantic state -- two runs that
+/// placed the same prefix record bit-identical snapshots, regardless of
+/// their internal heap layout or lazy-key refresh history.  (This is what
+/// lets a resumed run record a log bit-identical to a from-scratch
+/// build's; see list_schedule_resume's `record` parameter.)
 struct ScheduleSnapshot {
   std::size_t event_index = 0;  ///< events committed before this state
   std::size_t remaining = 0;    ///< copies still unplaced
@@ -134,8 +142,12 @@ struct ScheduleCheckpointLog {
   /// changes when re-judged with the candidate's ranks.
   struct StartTie {
     std::size_t event = 0;
-    int winner = -1;             ///< the base build's pick
-    std::vector<int> contenders; ///< every vertex at the tied start (incl. winner)
+    int winner = -1;  ///< the base build's pick
+    /// Every vertex at the tied start (incl. winner), ascending by vertex
+    /// id -- a pure function of the tied state, NOT heap pop order (pop
+    /// order depends on ranks, which a resumed run re-records under the
+    /// candidate's ranks).
+    std::vector<int> contenders;
   };
   std::vector<StartTie> ties;  ///< ascending by event
 
@@ -167,15 +179,39 @@ struct ListScheduleResumeStats {
                                          ScheduleCheckpointLog& log,
                                          int snapshot_interval = 0);
 
+/// The snapshot interval a default full build of `assignment` would pick:
+/// round(sqrt(total events)), where an event is one copy placement or one
+/// bus transmission.  Lets a caller predict -- without building anything --
+/// whether a record-while-resuming run (which inherits the base log's
+/// interval) would produce the same log a default from-scratch rebuild
+/// would.
+[[nodiscard]] int default_snapshot_interval(const Application& app,
+                                            const PolicyAssignment& assignment);
+
 /// Schedule of `candidate` (== `base` with process `moved`'s plan replaced),
 /// resumed from the nearest safe snapshot of `log` (recorded from `base`).
 /// Bit-identical to list_schedule(app, arch, candidate); falls back to a
 /// from-scratch build when no snapshot precedes the first affected event.
+///
+/// Record-while-resuming: when `record` is non-null, the run additionally
+/// emits a complete checkpoint log for the *candidate* -- the replayed
+/// suffix records its events, ties and snapshots live, and the skipped
+/// prefix is transplanted from `log` (event indices and tie groups are
+/// move-invariant before the resume point; prefix snapshots are remapped
+/// into the candidate's vertex space and re-ranked).  The recorded log
+/// inherits `log`'s snapshot interval (so prefix snapshots stay aligned)
+/// and is bit-identical to the log of
+/// `list_schedule(app, arch, candidate, *record, log.snapshot_interval)`
+/// -- an accepted move's rebase gets a resumable log without paying a
+/// from-scratch build.  `record` must not alias `log` (the transplant
+/// reads `log`'s snapshots while writing `record`); record into a fresh
+/// log and move it over the old one afterwards.
 [[nodiscard]] ListSchedule list_schedule_resume(
     const Application& app, const Architecture& arch,
     const PolicyAssignment& base, const ScheduleCheckpointLog& log,
     const PolicyAssignment& candidate, ProcessId moved,
-    ListScheduleResumeStats* stats = nullptr);
+    ListScheduleResumeStats* stats = nullptr,
+    ScheduleCheckpointLog* record = nullptr);
 
 /// Fault-free duration of one copy under its plan (E(n,0) or C).
 [[nodiscard]] Time fault_free_duration(const Application& app,

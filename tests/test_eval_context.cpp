@@ -268,6 +268,53 @@ TEST(EvalContext, CacheHitRebaseLeavesUsableCheckpointLog) {
       << "post-rebase evaluations must be served by the rebuilt log";
 }
 
+// The accepted-move fast path itself: a rebase onto a single-plan diff
+// must obtain the new base's checkpoint log by record-while-resuming (not
+// a from-scratch build), and the resulting evaluator state must be
+// indistinguishable from a full rebuild.
+TEST(EvalContext, AcceptedMoveRebaseRecordsLogViaResume) {
+  const Instance inst = make_instance(30, 3, 77);
+  const FaultModel model{2};
+  PolicyAssignment base = greedy_initial(inst.app, inst.arch, model,
+                                         PolicySpace::kCheckpointingOnly, 8);
+  EvalContext eval(inst.app, inst.arch, model);
+  eval.rebase(base);
+
+  // A checkpoint flip on the topological sink keeps the event count (and
+  // with it the default snapshot interval) unchanged and leaves a long
+  // resumable prefix.
+  const ProcessId pid = inst.app.topological_order().back();
+  ProcessPlan plan = base.plan(pid);
+  plan.copies[0].checkpoints = plan.copies[0].checkpoints == 1 ? 2 : 1;
+  (void)eval.evaluate_move(pid, plan);
+
+  const EvalStats before = eval.stats();
+  EXPECT_EQ(before.rebase_full_builds, 1);  // only the initial rebase
+  base.plan(pid) = plan;
+  eval.rebase(base);
+  const EvalStats spent = eval.stats().since(before);
+  EXPECT_EQ(spent.rebase_cache_hits, 1);
+  EXPECT_EQ(spent.rebase_log_recorded, 1)
+      << "the accepted-move rebase must record its log via resume";
+  EXPECT_EQ(spent.rebase_full_builds, 0);
+  EXPECT_GT(spent.rebase_log_events_resumed, 0);
+  // Move-evaluation counters stay untouched by the rebase path.
+  EXPECT_EQ(spent.ls_resumes + spent.ls_full_builds, 0);
+
+  // The recorded log must serve the next round exactly like a fresh one.
+  Rng rng(5);
+  for (int round = 0; round < 20; ++round) {
+    const ProcessId mover{static_cast<std::int32_t>(
+        rng.index(static_cast<std::size_t>(inst.app.process_count())))};
+    const ProcessPlan moved = random_move(inst, base, mover, model, rng);
+    PolicyAssignment candidate = base;
+    candidate.plan(mover) = moved;
+    EXPECT_EQ(eval.evaluate_move(mover, moved).makespan,
+              evaluate_wcsl(inst.app, inst.arch, candidate, model).makespan)
+        << "round " << round;
+  }
+}
+
 TEST(EvalContext, EvaluateMoveWithoutRebaseThrows) {
   const Instance inst = make_instance(6, 2, 1);
   const FaultModel model{1};

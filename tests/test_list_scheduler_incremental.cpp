@@ -161,6 +161,110 @@ TEST(ListSchedulerIncremental, ResumeMatchesFullRebuildForRandomMoves) {
   }
 }
 
+void expect_snapshot_identical(const ScheduleSnapshot& a,
+                               const ScheduleSnapshot& b, int round,
+                               std::size_t index) {
+  ASSERT_EQ(a.event_index, b.event_index) << "round " << round;
+  EXPECT_EQ(a.remaining, b.remaining) << "snapshot " << index;
+  EXPECT_EQ(a.bus_free, b.bus_free) << "snapshot " << index;
+  EXPECT_EQ(a.tx_seq, b.tx_seq) << "snapshot " << index;
+  EXPECT_EQ(a.node_free, b.node_free) << "snapshot " << index;
+  EXPECT_EQ(a.placed, b.placed) << "snapshot " << index;
+  EXPECT_EQ(a.deps_left, b.deps_left) << "snapshot " << index;
+  EXPECT_EQ(a.data_ready, b.data_ready) << "snapshot " << index;
+  ASSERT_EQ(a.ready_heap.size(), b.ready_heap.size()) << "snapshot " << index;
+  for (std::size_t i = 0; i < a.ready_heap.size(); ++i) {
+    EXPECT_EQ(a.ready_heap[i].start, b.ready_heap[i].start)
+        << "snapshot " << index << " ready " << i;
+    EXPECT_EQ(a.ready_heap[i].rank, b.ready_heap[i].rank)
+        << "snapshot " << index << " ready " << i;
+    EXPECT_EQ(a.ready_heap[i].vertex, b.ready_heap[i].vertex)
+        << "snapshot " << index << " ready " << i;
+  }
+  ASSERT_EQ(a.tx_heap.size(), b.tx_heap.size()) << "snapshot " << index;
+  for (std::size_t i = 0; i < a.tx_heap.size(); ++i) {
+    EXPECT_EQ(a.tx_heap[i].ready, b.tx_heap[i].ready)
+        << "snapshot " << index << " tx " << i;
+    EXPECT_EQ(a.tx_heap[i].msg, b.tx_heap[i].msg)
+        << "snapshot " << index << " tx " << i;
+    EXPECT_EQ(a.tx_heap[i].seq, b.tx_heap[i].seq)
+        << "snapshot " << index << " tx " << i;
+    EXPECT_EQ(a.tx_heap[i].src_copy, b.tx_heap[i].src_copy)
+        << "snapshot " << index << " tx " << i;
+    EXPECT_EQ(a.tx_heap[i].sender, b.tx_heap[i].sender)
+        << "snapshot " << index << " tx " << i;
+  }
+  expect_identical(a.partial, b.partial, "snapshot partial", round);
+}
+
+void expect_log_identical(const ScheduleCheckpointLog& a,
+                          const ScheduleCheckpointLog& b, int round) {
+  ASSERT_EQ(a.snapshot_interval, b.snapshot_interval) << "round " << round;
+  ASSERT_EQ(a.event_count, b.event_count) << "round " << round;
+  EXPECT_EQ(a.avail_event, b.avail_event) << "round " << round;
+  EXPECT_EQ(a.placed_event, b.placed_event) << "round " << round;
+  EXPECT_EQ(a.rank, b.rank) << "round " << round;
+  ASSERT_EQ(a.ties.size(), b.ties.size()) << "round " << round;
+  for (std::size_t i = 0; i < a.ties.size(); ++i) {
+    EXPECT_EQ(a.ties[i].event, b.ties[i].event) << "tie " << i;
+    EXPECT_EQ(a.ties[i].winner, b.ties[i].winner) << "tie " << i;
+    EXPECT_EQ(a.ties[i].contenders, b.ties[i].contenders) << "tie " << i;
+  }
+  ASSERT_EQ(a.snapshots.size(), b.snapshots.size()) << "round " << round;
+  for (std::size_t i = 0; i < a.snapshots.size(); ++i) {
+    expect_snapshot_identical(a.snapshots[i], b.snapshots[i], round, i);
+  }
+}
+
+// Record-while-resuming must produce a log bit-identical -- snapshots
+// (full scheduler states), tie groups, event indices, ranks -- to the log
+// of a from-scratch candidate build at the same snapshot interval, for
+// random moves of all three families across the dense (1), default and
+// degenerate (>= total events) intervals.  Accepted moves chain: the
+// recorded log becomes the next round's base log, so transplant errors
+// compound instead of hiding.
+TEST(ListSchedulerIncremental, RecordWhileResumingMatchesFromScratchLog) {
+  for (const int interval : {0, 1, 1 << 20}) {
+    const Instance inst = make_instance(24, 3, 4321);
+    const FaultModel model{2};
+    PolicyAssignment base = greedy_initial(inst.app, inst.arch, model,
+                                           PolicySpace::kCheckpointingOnly, 8);
+    ScheduleCheckpointLog log;
+    (void)list_schedule(inst.app, inst.arch, base, log, interval);
+
+    Rng rng(1000 + static_cast<std::uint64_t>(interval));
+    int resumed_recordings = 0;
+    for (int move = 0; move < 80; ++move) {
+      const ProcessId pid{static_cast<std::int32_t>(
+          rng.index(static_cast<std::size_t>(inst.app.process_count())))};
+      PolicyAssignment candidate = base;
+      candidate.plan(pid) = random_move(inst, base, pid, model, rng);
+
+      ListScheduleResumeStats stats;
+      ScheduleCheckpointLog recorded;
+      const ListSchedule resumed =
+          list_schedule_resume(inst.app, inst.arch, base, log, candidate, pid,
+                               &stats, &recorded);
+      ScheduleCheckpointLog scratch;
+      const ListSchedule full = list_schedule(inst.app, inst.arch, candidate,
+                                              scratch, log.snapshot_interval);
+      expect_identical(resumed, full, "record-resume", move);
+      expect_log_identical(recorded, scratch, move);
+      if (stats.resumed) ++resumed_recordings;
+
+      if (move % 9 == 0) {  // accept: the recorded log is the new base log
+        base = std::move(candidate);
+        log = std::move(recorded);
+      }
+    }
+    if (interval != 1 << 20) {
+      EXPECT_GT(resumed_recordings, 0)
+          << "interval " << interval
+          << ": every recording degenerated to a full build";
+    }
+  }
+}
+
 TEST(ListSchedulerIncremental, ResumeActuallySkipsEventsForSinkMoves) {
   const Instance inst = make_instance(30, 3, 77);
   const FaultModel model{2};

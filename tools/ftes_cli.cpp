@@ -249,6 +249,12 @@ int main(int argc, char** argv) {
                   100.0 * static_cast<double>(m.sched_events_resumed) /
                       static_cast<double>(m.sched_events_total));
     }
+    if (m.search_accepted > 0) {
+      std::printf(" (%lld moves accepted)", m.search_accepted);
+    }
+    if (m.rebase_log_recorded > 0) {
+      std::printf(" (%lld rebase logs resumed)", m.rebase_log_recorded);
+    }
     // Only printed when the features fired, so default runs stay
     // bit-identical to older goldens; speculation hit/miss is itself
     // deterministic for a fixed seed and any --threads.
