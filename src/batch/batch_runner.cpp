@@ -6,7 +6,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/fuzzer.h"
 #include "util/json_io.h"
+#include "util/random.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -37,6 +39,26 @@ BatchTaskResult run_one(const BatchTask& task, const BatchOptions& options,
     r.deadline = problem.app.deadline();
     r.evaluations = result.evaluations;
     r.stages = pipeline.metrics();
+    if (options.fuzz_trials > 0 && result.schedule &&
+        !result.schedule->traces.empty()) {
+      const Stopwatch fuzz_watch;
+      const ScheduleFuzzer fuzzer(problem.app, problem.arch,
+                                  result.assignment, problem.model,
+                                  *result.schedule);
+      FuzzOptions fuzz;
+      fuzz.trials = options.fuzz_trials;
+      fuzz.seed = options.fuzz_seed;
+      fuzz.threads = 1;  // the batch already fans out across tasks
+      const FuzzReport fr = fuzzer.fuzz(fuzz);
+      StageMetrics fm;
+      fm.stage = "fuzz";
+      fm.fuzz_trials = fr.trials;
+      fm.fuzz_failing_trials = fr.failing_trials;
+      fm.fuzz_violations = fr.violations;
+      fm.fuzz_worst_completion = fr.worst_completion;
+      fm.seconds = fuzz_watch.seconds();
+      r.stages.push_back(std::move(fm));
+    }
   } catch (const std::exception& e) {
     r.ok = false;
     r.error = e.what();
@@ -48,13 +70,8 @@ BatchTaskResult run_one(const BatchTask& task, const BatchOptions& options,
 }  // namespace
 
 std::uint64_t derive_task_seed(std::uint64_t base_seed, std::size_t index) {
-  // SplitMix64 (Steele et al.): full-avalanche mix so neighbouring task
-  // indices get decorrelated optimizer streams.
-  std::uint64_t z = base_seed + 0x9E3779B97F4A7C15ull *
-                                    (static_cast<std::uint64_t>(index) + 1);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
+  return derive_stream_seed(base_seed,
+                            static_cast<std::uint64_t>(index));
 }
 
 BatchReport run_batch(const std::vector<BatchTask>& tasks,

@@ -43,6 +43,15 @@ struct BatchOptions {
   /// problem file and the optimizer seed from derive_task_seed.
   SynthesisOptions synthesis;
   std::uint64_t base_seed = 1;
+  /// Adversarial fuzz pass (sim/fuzzer.h) after each successful synthesis:
+  /// fuzz_trials random admissible perturbations replayed against the
+  /// task's schedule tables (requires synthesis.build_schedule_tables).
+  /// The result is appended as a "fuzz" pseudo-stage to the task's stage
+  /// metrics.  Trials run serially inside the task -- the batch already
+  /// fans out across tasks -- with per-trial seeds derived from fuzz_seed,
+  /// so reports stay bit-identical for every thread count.
+  int fuzz_trials = 0;
+  std::uint64_t fuzz_seed = 1;
 };
 
 struct BatchTaskResult {

@@ -64,7 +64,11 @@ std::string StageMetrics::to_json() const {
   out << ", \"timed_out\": " << (timed_out ? "true" : "false")
       << ", \"cancel_latency_seconds\": ";
   json_seconds(out, cancel_latency_seconds);
-  out << ", \"seconds\": ";
+  out << ", \"fuzz_trials\": " << fuzz_trials
+      << ", \"fuzz_failing_trials\": " << fuzz_failing_trials
+      << ", \"fuzz_violations\": " << fuzz_violations
+      << ", \"fuzz_worst_completion\": " << fuzz_worst_completion
+      << ", \"seconds\": ";
   json_seconds(out, seconds);
   out << "}";
   return out.str();

@@ -82,6 +82,13 @@ struct StageMetrics {
   /// (bounded by one chunk of work between cancellation points).
   bool timed_out = false;
   double cancel_latency_seconds = 0.0;
+  /// Adversarial fuzz sweep (sim/fuzzer.h) run against the stage's tables;
+  /// all zero unless a fuzz pass ran (the "fuzz" pseudo-stage appended by
+  /// the batch runner / CLI).
+  long long fuzz_trials = 0;
+  long long fuzz_failing_trials = 0;
+  long long fuzz_violations = 0;
+  Time fuzz_worst_completion = 0;
 
   [[nodiscard]] std::string to_json() const;
 };

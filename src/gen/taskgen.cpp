@@ -12,6 +12,39 @@ Architecture generate_architecture(const TaskGenParams& params) {
   return Architecture::homogeneous(params.node_count, params.slot_length);
 }
 
+TaskGenParams scale_family_params(int process_count, int node_count) {
+  if (process_count < 1) throw std::invalid_argument("empty scale family");
+  TaskGenParams p;
+  p.process_count = process_count;
+  p.node_count = node_count;
+  // Wide and shallow: ~25 layers regardless of size, so the critical path
+  // (and with it the schedule horizon) grows slowly while the node load
+  // grows linearly.
+  p.min_layer_width = std::max(1, process_count / 50);
+  p.max_layer_width = std::max(2, process_count / 20);
+  p.max_in_degree = 2;
+  p.wcet_min = 10;
+  p.wcet_max = 60;
+  p.overhead_min_fraction = 0.05;
+  p.overhead_max_fraction = 0.10;
+  p.restriction_probability = 0.05;
+  p.msg_size_min = 1;
+  p.msg_size_max = 1;
+  p.slot_length = 4;
+  // Generous slack: the point of the standing workloads is a large *clean*
+  // instance (zero expected fuzz violations), not a tight one.
+  p.deadline_factor = 10.0;
+  return p;
+}
+
+std::vector<ScaleFamily> scale_families() {
+  return {
+      ScaleFamily{"scale500", scale_family_params(500, 2)},
+      ScaleFamily{"scale750", scale_family_params(750, 4)},
+      ScaleFamily{"scale1000", scale_family_params(1000, 6)},
+  };
+}
+
 Application generate_application(const TaskGenParams& params, Rng& rng) {
   if (params.process_count < 1) throw std::invalid_argument("empty graph");
   if (params.node_count < 1) throw std::invalid_argument("no nodes");

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "app/application.h"
 #include "arch/architecture.h"
@@ -59,5 +60,31 @@ struct TaskGenParams {
 
 /// Matching homogeneous architecture (node_count nodes, uniform TDMA bus).
 [[nodiscard]] Architecture generate_architecture(const TaskGenParams& params);
+
+// --- scale families ---------------------------------------------------------
+//
+// Standing large-scale workloads for the adversarial fuzzer and the
+// optimizer benchmarks: 500-1000-process graphs, an order of magnitude
+// past the paper's 20-100-process sweep.  The shape is tuned for scale --
+// wide layers (so the graph stays shallow and the critical path short),
+// low in-degree (so message count grows linearly), generous deadline
+// slack (so instances stay schedulable and a clean fuzz pass is the
+// expected outcome).  Keep k small (1) when building schedule tables on
+// these: the scenario tree is Theta(copies^k).
+
+/// Parameters for one scale-family instance.  process_count must be >= 1;
+/// typical values 500-1000.
+[[nodiscard]] TaskGenParams scale_family_params(int process_count,
+                                                int node_count);
+
+/// A named member of the standing scale-family suite.
+struct ScaleFamily {
+  const char* name;
+  TaskGenParams params;
+};
+
+/// The standing suite: scale500/2, scale750/4, scale1000/6
+/// (process_count/node_count).
+[[nodiscard]] std::vector<ScaleFamily> scale_families();
 
 }  // namespace ftes

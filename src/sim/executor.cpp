@@ -4,6 +4,8 @@
 #include <map>
 #include <sstream>
 
+#include "util/thread_pool.h"
+
 namespace ftes {
 
 namespace {
@@ -118,10 +120,21 @@ ExecutionReport execute_scenario(const Application& app,
 
 ExecutionReport check_all_scenarios(const Application& app,
                                     const PolicyAssignment& assignment,
-                                    const CondScheduleResult& schedule) {
+                                    const CondScheduleResult& schedule,
+                                    const ExecCheckOptions& options) {
   ExecutionReport report;
-  for (const ScenarioTrace& trace : schedule.traces) {
-    ExecutionReport one = execute_scenario(app, assignment, schedule, trace);
+
+  // Per-scenario checks are independent: run them into scenario-indexed
+  // slots and fold serially so the report never depends on thread timing.
+  std::vector<ExecutionReport> slots(schedule.traces.size());
+  const int threads = resolve_threads(options.threads);
+  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
+  parallel_for(pool, schedule.traces.size(), threads, [&](std::size_t i) {
+    slots[i] = execute_scenario(app, assignment, schedule,
+                                schedule.traces[i]);
+    std::sort(slots[i].violations.begin(), slots[i].violations.end());
+  });
+  for (ExecutionReport& one : slots) {
     report.completion = std::max(report.completion, one.completion);
     if (!one.ok) {
       report.ok = false;

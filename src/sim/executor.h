@@ -29,6 +29,8 @@
 
 namespace ftes {
 
+class ThreadPool;
+
 struct ExecutionReport {
   bool ok = true;
   std::vector<std::string> violations;
@@ -46,9 +48,20 @@ struct ExecutionReport {
     const Application& app, const PolicyAssignment& assignment,
     const CondScheduleResult& schedule, const ScenarioTrace& trace);
 
+struct ExecCheckOptions {
+  /// Concurrent scenario checks (1 = serial; 0 = all hardware threads).
+  /// The report is identical for every value: per-scenario results land in
+  /// scenario-indexed slots and fold in scenario order, and each scenario's
+  /// violations are sorted by message.
+  int threads = 1;
+  ThreadPool* pool = nullptr;  ///< nullptr = ThreadPool::shared()
+};
+
 /// Runs properties 1-3 over every scenario covered by the schedule.
+/// Violations are ordered by (scenario index, message) regardless of
+/// `options.threads`.
 [[nodiscard]] ExecutionReport check_all_scenarios(
     const Application& app, const PolicyAssignment& assignment,
-    const CondScheduleResult& schedule);
+    const CondScheduleResult& schedule, const ExecCheckOptions& options = {});
 
 }  // namespace ftes

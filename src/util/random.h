@@ -40,4 +40,16 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// SplitMix64 mix (Steele et al.) of a base seed and a stream index:
+/// decorrelated per-item streams that depend only on (base, index), never
+/// on scheduling -- the backbone of every thread-count-invariant sweep
+/// (batch tasks, fuzz trials).
+[[nodiscard]] constexpr std::uint64_t derive_stream_seed(std::uint64_t base,
+                                                         std::uint64_t index) {
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 }  // namespace ftes

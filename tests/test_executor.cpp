@@ -3,8 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
 #include "fixtures.h"
 #include "sim/fault_injector.h"
+#include "util/thread_pool.h"
 
 namespace ftes {
 namespace {
@@ -57,6 +63,207 @@ TEST(Executor, DetectsBrokenTransparency) {
   EXPECT_FALSE(report.ok);
 }
 
+// --- exact violation strings, one test per kind ------------------------------
+//
+// Hand-broken tables/traces pin the report wording: fixtures and scripts
+// grep these messages, so a rewording must be deliberate.
+
+TEST(ExecutorStrings, NeverCompletes) {
+  auto f = fig5_app();
+  CondScheduleResult r =
+      conditional_schedule(f.app, f.arch, f.assignment, f.model);
+  ScenarioTrace trace = r.traces.front();  // fault-free
+  for (ExecTrace& e : trace.execs) {
+    if (e.copy.process == f.p1) e.died = true;  // no surviving copy of P1
+  }
+  const ExecutionReport report =
+      execute_scenario(f.app, f.assignment, r, trace);
+  EXPECT_FALSE(report.ok);
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_EQ(report.violations.front(),
+            "process P1 never completes in scenario " +
+                trace.scenario.to_string(f.app));
+}
+
+TEST(ExecutorStrings, LocalDeadlineMiss) {
+  auto f = fig5_app();
+  const CondScheduleResult r =
+      conditional_schedule(f.app, f.arch, f.assignment, f.model);
+  const ScenarioTrace& trace = r.traces.front();
+  Time p2_end = 0;
+  for (const ExecTrace& e : trace.execs) {
+    if (e.copy.process == f.p2 && !e.died) p2_end = e.end;
+  }
+  ASSERT_GT(p2_end, 0);
+  f.app.process(f.p2).local_deadline = p2_end - 1;
+  const ExecutionReport report =
+      execute_scenario(f.app, f.assignment, r, trace);
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations.front(),
+            "process P2 misses its local deadline in " +
+                trace.scenario.to_string(f.app));
+}
+
+TEST(ExecutorStrings, GlobalDeadlineMiss) {
+  auto f = fig5_app();
+  const CondScheduleResult r =
+      conditional_schedule(f.app, f.arch, f.assignment, f.model);
+  // The worst trace misses a deadline one tick below the WCSL.
+  const ScenarioTrace* worst = &r.traces.front();
+  for (const ScenarioTrace& t : r.traces) {
+    if (t.makespan > worst->makespan) worst = &t;
+  }
+  f.app.set_deadline(worst->makespan - 1);
+  const ExecutionReport report =
+      execute_scenario(f.app, f.assignment, r, *worst);
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations.front(),
+            "deadline missed (" + std::to_string(worst->makespan) + " > " +
+                std::to_string(worst->makespan - 1) + ") in scenario " +
+                worst->scenario.to_string(f.app));
+}
+
+TEST(ExecutorStrings, GuardNotEntailedProcess) {
+  auto f = fig5_app();
+  const CondScheduleResult r =
+      conditional_schedule(f.app, f.arch, f.assignment, f.model);
+  ScenarioTrace trace = r.traces.front();
+  // Shift P1's first activation off its table entry: no entry at the new
+  // time, so the quasi-static consistency check must object.
+  ExecTrace* p1 = nullptr;
+  for (ExecTrace& e : trace.execs) {
+    if (e.copy.process == f.p1) p1 = &e;
+  }
+  ASSERT_NE(p1, nullptr);
+  const Time moved = p1->attempt_starts.front() + 1;
+  p1->attempt_starts.front() = moved;
+  const ExecutionReport report =
+      execute_scenario(f.app, f.assignment, r, trace);
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations.front(),
+            "activation of P1 at t=" + std::to_string(moved) +
+                " has no entailed table entry in scenario " +
+                trace.scenario.to_string(f.app));
+}
+
+TEST(ExecutorStrings, GuardNotEntailedBus) {
+  auto f = fig5_app();
+  const CondScheduleResult r =
+      conditional_schedule(f.app, f.arch, f.assignment, f.model);
+  ScenarioTrace trace = r.traces.front();
+  TxTrace* data = nullptr;
+  for (TxTrace& tx : trace.txs) {
+    if (!tx.is_condition && tx.msg == f.m1) data = &tx;
+  }
+  ASSERT_NE(data, nullptr);
+  const Time moved = data->start + 1;
+  data->start = moved;
+  const ExecutionReport report =
+      execute_scenario(f.app, f.assignment, r, trace);
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations.front(),
+            "bus activation of m1 at t=" + std::to_string(moved) +
+                " has no entailed table entry in scenario " +
+                trace.scenario.to_string(f.app));
+}
+
+TEST(ExecutorStrings, FrozenProcessDivergence) {
+  auto f = fig5_app();
+  CondScheduleResult r =
+      conditional_schedule(f.app, f.arch, f.assignment, f.model);
+  // Nudge frozen P3's start in one trace only: two observed starts.
+  Time pinned = -1;
+  Time moved = -1;
+  bool first = true;
+  for (ScenarioTrace& trace : r.traces) {
+    for (ExecTrace& e : trace.execs) {
+      if (e.copy.process != f.p3) continue;
+      if (first) {
+        pinned = e.start;
+        first = false;
+      } else if (moved < 0) {
+        moved = e.start + 1;
+        e.start = moved;
+      }
+    }
+  }
+  ASSERT_GE(pinned, 0);
+  ASSERT_GE(moved, 0);
+  const ExecutionReport report =
+      check_all_scenarios(f.app, f.assignment, r);
+  EXPECT_FALSE(report.ok);
+  const std::string expected = "frozen process P3 starts at both " +
+                               std::to_string(pinned) + " and " +
+                               std::to_string(moved);
+  EXPECT_NE(std::find(report.violations.begin(), report.violations.end(),
+                      expected),
+            report.violations.end())
+      << "missing: " << expected;
+}
+
+TEST(ExecutorStrings, FrozenMessageDivergence) {
+  auto f = fig5_app();
+  CondScheduleResult r =
+      conditional_schedule(f.app, f.arch, f.assignment, f.model);
+  Time pinned = -1;
+  Time moved = -1;
+  bool first = true;
+  for (ScenarioTrace& trace : r.traces) {
+    for (TxTrace& tx : trace.txs) {
+      if (tx.is_condition || tx.msg != f.m2) continue;
+      if (first) {
+        pinned = tx.start;
+        first = false;
+      } else if (moved < 0) {
+        moved = tx.start + 1;
+        tx.start = moved;
+      }
+    }
+  }
+  ASSERT_GE(pinned, 0);
+  ASSERT_GE(moved, 0);
+  const ExecutionReport report =
+      check_all_scenarios(f.app, f.assignment, r);
+  EXPECT_FALSE(report.ok);
+  const std::string expected = "frozen message m2 transmitted at both " +
+                               std::to_string(pinned) + " and " +
+                               std::to_string(moved);
+  EXPECT_NE(std::find(report.violations.begin(), report.violations.end(),
+                      expected),
+            report.violations.end())
+      << "missing: " << expected;
+}
+
+// --- deterministic ordering under parallel checking --------------------------
+
+TEST(Executor, ViolationOrderIsThreadCountInvariant) {
+  auto f = fig5_app();
+  const CondScheduleResult r =
+      conditional_schedule(f.app, f.arch, f.assignment, f.model);
+  // Break every scenario at once (deadline below the fault-free makespan)
+  // so the report carries many violations across many scenarios.
+  f.app.set_deadline(r.traces.front().makespan - 1);
+
+  const ExecutionReport serial =
+      check_all_scenarios(f.app, f.assignment, r);
+  ASSERT_FALSE(serial.ok);
+  ASSERT_GT(serial.violations.size(), 1u);
+
+  ThreadPool pool(4);  // real helpers even on single-core hosts
+  ExecCheckOptions options;
+  options.threads = 4;
+  options.pool = &pool;
+  const ExecutionReport parallel =
+      check_all_scenarios(f.app, f.assignment, r, options);
+  EXPECT_EQ(serial.ok, parallel.ok);
+  EXPECT_EQ(serial.completion, parallel.completion);
+  EXPECT_EQ(serial.violations, parallel.violations);
+}
+
 TEST(FaultInjector, ScenariosRespectBudget) {
   auto f = fig5_app();
   Rng rng(7);
@@ -89,6 +296,58 @@ TEST(FaultInjector, HitsOnlyExistingCopies) {
       EXPECT_GT(count, 0);
     }
   }
+}
+
+// Property: single-fault draws cover *every* copy, roughly uniformly.  The
+// chi-squared statistic against the uniform law stays under a very loose
+// bound (dof = copies - 1; 40 would be a p < 1e-6 outlier) -- tight enough
+// to catch a copy the injector can never hit or hits half as often, loose
+// enough to never flake on a fixed seed.
+TEST(FaultInjector, SingleFaultCoverageIsRoughlyUniform) {
+  auto f = fig5_app();
+  Rng rng(17);
+  std::map<std::pair<int, int>, int> tally;
+  int total_copies = 0;
+  for (int p = 0; p < f.app.process_count(); ++p) {
+    total_copies += f.assignment.plan(ProcessId{p}).copy_count();
+  }
+  const int trials = 400 * total_copies;
+  for (int t = 0; t < trials; ++t) {
+    const FaultScenario s = random_scenario(f.app, f.assignment, 1, rng);
+    ASSERT_EQ(s.hits().size(), 1u);
+    const CopyRef ref = s.hits().begin()->first;
+    ++tally[{ref.process.get(), ref.copy}];
+  }
+  EXPECT_EQ(static_cast<int>(tally.size()), total_copies)
+      << "some copy was never hit";
+  const double expected = static_cast<double>(trials) / total_copies;
+  double chi2 = 0.0;
+  for (const auto& [copy, observed] : tally) {
+    const double d = observed - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 40.0);
+}
+
+// Property: every batch draw is admissible -- total faults in [0, k] and
+// only existing copies are hit -- and the batch exercises the whole range
+// of fault counts, 0 and k included.
+TEST(FaultInjector, BatchCountsSpanZeroToK) {
+  auto f = fig5_app();
+  Rng rng(19);
+  const auto scenarios =
+      random_scenarios(f.app, f.assignment, f.model, 300, rng);
+  std::set<int> counts;
+  for (const FaultScenario& s : scenarios) {
+    ASSERT_GE(s.total_faults(), 0);
+    ASSERT_LE(s.total_faults(), f.model.k);
+    counts.insert(s.total_faults());
+    for (const auto& [ref, count] : s.hits()) {
+      ASSERT_LT(ref.copy, f.assignment.plan(ref.process).copy_count());
+    }
+  }
+  EXPECT_TRUE(counts.count(0)) << "no fault-free draw in 300";
+  EXPECT_TRUE(counts.count(f.model.k)) << "no full-budget draw in 300";
 }
 
 }  // namespace

@@ -30,14 +30,32 @@
 //   --c-source          dump schedule tables as C source
 //   --dot               dump the FT-CPG in GraphViz DOT
 //   --gantt             render the fault-free and a worst-case Gantt chart
+//   --fuzz <n>          adversarial stress: replay n random admissible
+//                       perturbations (fault timing, execution jitter)
+//                       against the synthesized tables; any violation makes
+//                       the exit status 2.  In --batch mode this builds
+//                       tables per task and appends a "fuzz" stage to the
+//                       JSON report.  Output is bit-identical for every
+//                       --threads value.
+//   --fuzz-seed <n>     base seed of the fuzz sweep (default 1)
+//   --fuzz-out <file>   write the first (shrunk) counterexample as a
+//                       replayable fixture (single mode)
+//   --replay <file>     replay a fuzz fixture (tests/fixtures/*.fuzz)
+//                       against the synthesized tables: apply its table
+//                       corruptions, replay its perturbation, and require
+//                       every expected violation kind to show up (an empty
+//                       expectation requires a clean replay); mismatch ->
+//                       exit status 2 (single mode)
 //
 // Exit status: 0 if a schedulable configuration was found (in batch mode:
 // every task synthesized without error), 2 otherwise, 1 on usage/parse
 // errors.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "batch/batch_runner.h"
 #include "core/pipeline.h"
@@ -47,6 +65,7 @@
 #include "sched/root_schedule.h"
 #include "sched/table_export.h"
 #include "sim/executor.h"
+#include "sim/fuzzer.h"
 #include "sim/gantt.h"
 #include "util/thread_pool.h"
 
@@ -69,6 +88,10 @@ struct CliOptions {
   bool c_source = false;
   bool dot = false;
   bool gantt = false;
+  int fuzz_trials = 0;
+  std::uint64_t fuzz_seed = 1;
+  std::string fuzz_out;
+  std::string replay_path;
 };
 
 int usage() {
@@ -76,10 +99,11 @@ int usage() {
                "usage: ftes_cli <problem.ftes> [--seed n] [--iterations n] "
                "[--threads n] [--speculate] [--stage-budget-ms n] "
                "[--total-budget-ms n] [--no-tables] [--root] [--json] "
-               "[--c-source] [--dot] [--gantt]\n"
+               "[--c-source] [--dot] [--gantt] [--fuzz n] [--fuzz-seed n] "
+               "[--fuzz-out file] [--replay file]\n"
                "       ftes_cli --batch <dir> [--seed n] [--iterations n] "
                "[--threads n] [--stage-budget-ms n] [--total-budget-ms n] "
-               "[--json]\n");
+               "[--json] [--fuzz n] [--fuzz-seed n]\n");
   return 1;
 }
 
@@ -112,6 +136,14 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       opts.dot = true;
     } else if (arg == "--gantt") {
       opts.gantt = true;
+    } else if (arg == "--fuzz" && i + 1 < argc) {
+      opts.fuzz_trials = std::atoi(argv[++i]);
+    } else if (arg == "--fuzz-seed" && i + 1 < argc) {
+      opts.fuzz_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--fuzz-out" && i + 1 < argc) {
+      opts.fuzz_out = argv[++i];
+    } else if (arg == "--replay" && i + 1 < argc) {
+      opts.replay_path = argv[++i];
     } else if (arg.rfind("--", 0) == 0) {
       return false;
     } else if (opts.input.empty()) {
@@ -133,6 +165,12 @@ int run_batch_mode(const CliOptions& opts) {
     std::fprintf(stderr,
                  "ftes_cli: --root/--c-source/--dot/--gantt/--speculate are "
                  "not available in --batch mode\n");
+    return 1;
+  }
+  if (!opts.replay_path.empty() || !opts.fuzz_out.empty()) {
+    std::fprintf(stderr,
+                 "ftes_cli: --replay/--fuzz-out are not available in "
+                 "--batch mode\n");
     return 1;
   }
 
@@ -159,8 +197,11 @@ int run_batch_mode(const CliOptions& opts) {
   batch.synthesis.total_budget_ms = opts.total_budget_ms;
   // The batch report only uses the analytic WCSL; building the
   // (exponential-in-k) schedule tables per task would dominate the run
-  // and be thrown away.
-  batch.synthesis.build_schedule_tables = false;
+  // and be thrown away.  --fuzz is the exception: the fuzzer replays
+  // against the tables, so it pays for them.
+  batch.synthesis.build_schedule_tables = opts.fuzz_trials > 0;
+  batch.fuzz_trials = opts.fuzz_trials;
+  batch.fuzz_seed = opts.fuzz_seed;
 
   const BatchReport report = run_batch(tasks, batch);
   if (opts.json) {
@@ -184,6 +225,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "ftes_cli: --speculate has nothing to overlap with "
                  "--no-tables\n");
+    return 1;
+  }
+  if ((opts.fuzz_trials > 0 || !opts.replay_path.empty()) && !opts.tables) {
+    std::fprintf(stderr,
+                 "ftes_cli: --fuzz/--replay need the schedule tables "
+                 "(drop --no-tables)\n");
     return 1;
   }
   if (!opts.batch_dir.empty()) {
@@ -220,6 +267,32 @@ int main(int argc, char** argv) {
   Pipeline pipeline = Pipeline::default_pipeline();
   const SynthesisResult result = pipeline.run(ctx);
 
+  // Adversarial fuzz sweep (before any printing: its summary joins the
+  // Stages line).  Everything printed is thread-count-invariant.
+  std::vector<StageMetrics> stage_metrics = pipeline.metrics();
+  std::optional<FuzzReport> fuzz_report;
+  if (opts.fuzz_trials > 0) {
+    if (!result.schedule || result.schedule->traces.empty()) {
+      std::fprintf(stderr, "ftes_cli: no schedule tables to fuzz\n");
+      return 1;
+    }
+    const ScheduleFuzzer fuzzer(problem.app, problem.arch, result.assignment,
+                                problem.model, *result.schedule);
+    FuzzOptions fuzz;
+    fuzz.trials = opts.fuzz_trials;
+    fuzz.seed = opts.fuzz_seed;
+    fuzz.threads = opts.threads;
+    fuzz_report = fuzzer.fuzz(fuzz);
+    StageMetrics fm;
+    fm.stage = "fuzz";
+    fm.fuzz_trials = fuzz_report->trials;
+    fm.fuzz_failing_trials = fuzz_report->failing_trials;
+    fm.fuzz_violations = fuzz_report->violations;
+    fm.fuzz_worst_completion = fuzz_report->worst_completion;
+    fm.seconds = fuzz_report->seconds;
+    stage_metrics.push_back(std::move(fm));
+  }
+
   std::printf("ftes: %d processes, %d messages, %d nodes, k = %d\n",
               problem.app.process_count(), problem.app.message_count(),
               problem.arch.node_count(), problem.model.k);
@@ -232,9 +305,14 @@ int main(int argc, char** argv) {
   // No wall-clock here: single-mode stdout stays bit-identical across
   // --threads values (CI diffs it); timings live in the JSON/batch reports.
   std::printf("Stages:");
-  for (const StageMetrics& m : pipeline.metrics()) {
+  for (const StageMetrics& m : stage_metrics) {
     if (m.skipped) {
       std::printf("  %s skipped;", m.stage.c_str());
+      continue;
+    }
+    if (m.fuzz_trials > 0) {
+      std::printf("  %s %lld trials, %lld failing;", m.stage.c_str(),
+                  m.fuzz_trials, m.fuzz_failing_trials);
       continue;
     }
     const long long rows = m.cache_hits + m.cache_misses;
@@ -266,12 +344,107 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
+  bool fuzz_ok = true;
+  bool replay_ok = true;
   if (result.schedule) {
+    ExecCheckOptions check;
+    check.threads = opts.threads;
     const ExecutionReport report = check_all_scenarios(
-        problem.app, result.assignment, *result.schedule);
+        problem.app, result.assignment, *result.schedule, check);
     std::printf("Schedule tables: %d entries over %d scenarios, validation %s\n",
                 result.schedule->tables.total_entries(),
                 result.schedule->scenario_count, report.ok ? "OK" : "FAILED");
+    if (fuzz_report) {
+      std::printf("Fuzz: %lld trials, %lld failing, %lld violations, "
+                  "worst completion %lld\n",
+                  fuzz_report->trials, fuzz_report->failing_trials,
+                  fuzz_report->violations,
+                  static_cast<long long>(fuzz_report->worst_completion));
+      for (const auto& [kind, count] : fuzz_report->violations_by_kind) {
+        std::printf("  %s: %lld\n", kind.c_str(), count);
+      }
+      for (const FuzzCounterexample& cx : fuzz_report->counterexamples) {
+        std::printf("  counterexample (trial %lld, %d shrink steps): %s\n",
+                    cx.trial, cx.shrink_steps,
+                    cx.violations.empty() ? "(no violations after shrink)"
+                                          : cx.violations.front().message
+                                                .c_str());
+      }
+      fuzz_ok = fuzz_report->ok();
+      if (!opts.fuzz_out.empty()) {
+        if (fuzz_report->counterexamples.empty()) {
+          std::printf("  fuzz clean: no fixture written to %s\n",
+                      opts.fuzz_out.c_str());
+        } else {
+          const FuzzCounterexample& cx = fuzz_report->counterexamples.front();
+          FuzzFixture fixture;
+          fixture.perturbation = cx.perturbation;
+          for (const FuzzViolation& v : cx.violations) {
+            if (std::find(fixture.expect.begin(), fixture.expect.end(),
+                          v.kind) == fixture.expect.end()) {
+              fixture.expect.push_back(v.kind);
+            }
+          }
+          fixture.note = "shrunk counterexample, trial " +
+                         std::to_string(cx.trial) + ", fuzz seed " +
+                         std::to_string(opts.fuzz_seed);
+          std::ofstream out(opts.fuzz_out);
+          if (!out) {
+            std::fprintf(stderr, "ftes_cli: cannot write '%s'\n",
+                         opts.fuzz_out.c_str());
+            return 1;
+          }
+          out << fixture_to_text(fixture, problem.app, result.assignment);
+          std::printf("  wrote fixture %s\n", opts.fuzz_out.c_str());
+        }
+      }
+    }
+    if (!opts.replay_path.empty()) {
+      std::ifstream fin(opts.replay_path);
+      if (!fin) {
+        std::fprintf(stderr, "ftes_cli: cannot open '%s'\n",
+                     opts.replay_path.c_str());
+        return 1;
+      }
+      try {
+        const FuzzFixture fixture =
+            parse_fixture(fin, problem.app, result.assignment);
+        // Replay against a (possibly corrupted) copy of the tables.
+        CondScheduleResult corrupted = *result.schedule;
+        apply_corruptions(fixture.corruptions, corrupted.tables);
+        const ScheduleFuzzer fuzzer(problem.app, problem.arch,
+                                    result.assignment, problem.model,
+                                    corrupted);
+        const std::vector<FuzzViolation> violations =
+            fuzzer.replay(fixture.perturbation);
+        std::printf("Replay %s: %zu violation(s)\n", opts.replay_path.c_str(),
+                    violations.size());
+        for (const FuzzViolation& v : violations) {
+          std::printf("  [%s] %s\n", to_string(v.kind), v.message.c_str());
+        }
+        if (fixture.expect.empty()) {
+          replay_ok = violations.empty();
+        } else {
+          for (FuzzKind kind : fixture.expect) {
+            const bool seen =
+                std::any_of(violations.begin(), violations.end(),
+                            [&](const FuzzViolation& v) {
+                              return v.kind == kind;
+                            });
+            if (!seen) {
+              std::printf("  expected %s: NOT observed\n", to_string(kind));
+              replay_ok = false;
+            }
+          }
+        }
+        std::printf("Replay verdict: %s\n",
+                    replay_ok ? "OK (expectations met)" : "FAILED");
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "ftes_cli: %s: %s\n", opts.replay_path.c_str(),
+                     e.what());
+        return 1;
+      }
+    }
     if (opts.json) {
       std::printf("%s", tables_to_json(result.schedule->tables, problem.arch)
                             .c_str());
@@ -304,11 +477,16 @@ int main(int argc, char** argv) {
     std::printf("\n%s", root.to_text(problem.app, problem.arch).c_str());
   }
 
+  if (!result.schedule && !opts.replay_path.empty()) {
+    std::fprintf(stderr, "ftes_cli: no schedule tables to replay against\n");
+    return 1;
+  }
+
   if (opts.dot) {
     const Ftcpg g =
         build_ftcpg(problem.app, result.assignment, problem.model);
     std::printf("%s", g.to_dot().c_str());
   }
 
-  return result.schedulable ? 0 : 2;
+  return (result.schedulable && fuzz_ok && replay_ok) ? 0 : 2;
 }
