@@ -174,7 +174,15 @@ void Application::validate(const Architecture& arch) const {
       throw std::invalid_argument("process '" + p.name +
                                   "' cannot run on any node");
     }
-    for (const auto& [node, c] : p.wcet) {
+    // Checked in node order: with several invalid entries the error thrown
+    // (and thus any message a caller surfaces) must not depend on hash
+    // iteration order.
+    std::vector<std::pair<NodeId, Time>> entries(
+        // lint: order-insensitive -- copied out, then sorted by node below
+        p.wcet.begin(), p.wcet.end());
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [node, c] : entries) {
       if (!node.valid() || node.get() >= arch.node_count()) {
         throw std::invalid_argument("process '" + p.name +
                                     "' references unknown node");

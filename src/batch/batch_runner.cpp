@@ -82,6 +82,10 @@ BatchReport run_batch(const std::vector<BatchTask>& tasks,
 
   const int threads = resolve_threads(options.threads);
   ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
+  // lint: cancel-ok -- each task arms its own per-job token from the
+  // synthesis budgets inside run_one; there is no batch-level token to
+  // poll, and a pre-dispatch poll would make the set of completed tasks
+  // timing-dependent instead of "all tasks, each individually budgeted"
   parallel_for(pool, tasks.size(), threads, [&](std::size_t i) {
     report.results[i] =
         run_one(tasks[i], options, derive_task_seed(options.base_seed, i));

@@ -132,6 +132,8 @@ Application generate_application(const TaskGenParams& params, Rng& rng) {
   for (ProcessId pid : app.topological_order()) {
     const Process& p = app.process(pid);
     Time mean = 0;
+    // lint: order-insensitive -- integer sum over the values; Time is int64
+    // ticks, so accumulation order cannot change the mean
     for (const auto& [node, c] : p.wcet) mean += c;
     mean /= static_cast<Time>(p.wcet.size());
     Time in = 0;

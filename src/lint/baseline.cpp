@@ -1,0 +1,51 @@
+#include "lint/baseline.h"
+
+#include <algorithm>
+
+namespace ftes::lint {
+
+std::set<std::string> parse_baseline(const std::string& text) {
+  std::set<std::string> keys;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      std::string line = text.substr(start, i - start);
+      start = i + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      const std::size_t b = line.find_first_not_of(" \t");
+      if (b == std::string::npos || line[b] == '#') continue;
+      keys.insert(line.substr(b));
+    }
+  }
+  return keys;
+}
+
+BaselineSplit apply_baseline(const std::vector<Diagnostic>& diagnostics,
+                             const std::set<std::string>& baseline) {
+  BaselineSplit split;
+  for (const Diagnostic& d : diagnostics) {
+    if (baseline.count(baseline_key(d)) > 0) {
+      ++split.grandfathered;
+    } else {
+      split.fresh.push_back(d);
+    }
+  }
+  return split;
+}
+
+std::string render_baseline(const std::vector<Diagnostic>& diagnostics) {
+  std::set<std::string> keys;
+  for (const Diagnostic& d : diagnostics) keys.insert(baseline_key(d));
+  std::string out =
+      "# ftes-lint baseline: grandfathered findings, one per line as\n"
+      "# file|rule|anchor.  Every entry must carry a justifying comment\n"
+      "# above it.  This file may only shrink; CI regenerates it with\n"
+      "# `ftes_lint --write-baseline` and diffs against this copy.\n";
+  for (const std::string& k : keys) {
+    out += k;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ftes::lint

@@ -1,0 +1,36 @@
+// Committed-baseline support: grandfathered findings live in a checked-in
+// file (tools/lint_baseline.txt) keyed by "file|rule|anchor" -- no line
+// numbers, so edits elsewhere in a file do not churn the baseline.  The
+// lint run fails only on findings NOT in the baseline, and CI regenerates
+// the baseline and diffs it against the committed copy so it can only
+// shrink, never grow silently.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.h"
+
+namespace ftes::lint {
+
+/// Parses baseline text: '#' comment lines and blank lines are skipped,
+/// every other line is a literal key.
+[[nodiscard]] std::set<std::string> parse_baseline(const std::string& text);
+
+struct BaselineSplit {
+  std::vector<Diagnostic> fresh;  ///< findings not covered by the baseline
+  int grandfathered = 0;          ///< findings matched (and swallowed)
+};
+
+[[nodiscard]] BaselineSplit apply_baseline(
+    const std::vector<Diagnostic>& diagnostics,
+    const std::set<std::string>& baseline);
+
+/// Renders the given findings as a baseline file (stable header + sorted
+/// unique keys).  Byte-stable: CI diffs this output against the committed
+/// file.
+[[nodiscard]] std::string render_baseline(
+    const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace ftes::lint

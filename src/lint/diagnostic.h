@@ -1,0 +1,40 @@
+// Diagnostic record shared by the ftes-lint rule engine, baseline store and
+// the ftes_lint tool.
+//
+// A diagnostic is keyed two ways:
+//   * format():       "file:line: rule: message" -- the human-facing line,
+//                     exact enough for tests to assert on;
+//   * baseline_key(): "file|rule|anchor" -- line-number-free, so a committed
+//                     baseline survives unrelated edits above a grandfathered
+//                     finding.  The anchor is the trimmed source line text.
+#pragma once
+
+#include <string>
+
+namespace ftes::lint {
+
+struct Diagnostic {
+  std::string file;     ///< path relative to the lint root, '/'-separated
+  int line = 0;         ///< 1-based
+  std::string rule;     ///< rule id, e.g. "unordered-iter"
+  std::string message;  ///< human-readable explanation with the fix hint
+  std::string anchor;   ///< trimmed text of the offending source line
+};
+
+inline std::string format(const Diagnostic& d) {
+  return d.file + ":" + std::to_string(d.line) + ": " + d.rule + ": " +
+         d.message;
+}
+
+inline std::string baseline_key(const Diagnostic& d) {
+  return d.file + "|" + d.rule + "|" + d.anchor;
+}
+
+/// Stable output and baseline order: by file, then line, then rule.
+inline bool diagnostic_before(const Diagnostic& a, const Diagnostic& b) {
+  if (a.file != b.file) return a.file < b.file;
+  if (a.line != b.line) return a.line < b.line;
+  return a.rule < b.rule;
+}
+
+}  // namespace ftes::lint

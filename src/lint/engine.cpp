@@ -1,0 +1,149 @@
+#include "lint/engine.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "lint/lexer.h"
+#include "lint/rules.h"
+
+namespace ftes::lint {
+namespace {
+
+[[nodiscard]] bool is_cpp_source(const std::filesystem::path& p) {
+  static const std::set<std::string> kExts = {".h",  ".hpp", ".hh", ".cpp",
+                                              ".cc", ".cxx", ".inl"};
+  return kExts.count(p.extension().string()) > 0;
+}
+
+[[nodiscard]] std::string to_rel_slash(const std::filesystem::path& p,
+                                       const std::filesystem::path& root) {
+  return std::filesystem::relative(p, root).generic_string();
+}
+
+}  // namespace
+
+std::vector<SourceFile> load_tree(const std::string& root,
+                                  const LintConfig& config) {
+  namespace fs = std::filesystem;
+  std::vector<SourceFile> files;
+  const fs::path root_path(root);
+  for (const std::string& sub : config.scan_roots) {
+    const fs::path dir = root_path / sub;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) continue;
+    for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file() || !is_cpp_source(it->path())) continue;
+      std::ifstream in(it->path(), std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      files.push_back({to_rel_slash(it->path(), root_path), buf.str()});
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  return files;
+}
+
+LintResult run_lint(const std::vector<SourceFile>& files,
+                    const LintConfig& config) {
+  LintResult result;
+  result.files_scanned = static_cast<int>(files.size());
+
+  // Pass 1: lex everything once and build the tree-wide index of names
+  // declared with an unordered container type (R1 needs cross-file
+  // knowledge: `p.wcet` iterated in src/opt is declared in src/app).
+  std::vector<LexedFile> lexed;
+  lexed.reserve(files.size());
+  std::set<std::string> unordered_names;
+  for (const SourceFile& f : files) {
+    lexed.push_back(lex(f.content));
+    collect_unordered_names(lexed.back(), &unordered_names);
+  }
+
+  // Pass 2: rules, then suppression by annotation.
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    std::vector<Diagnostic> raw;
+    run_rules(files[i].path, lexed[i], unordered_names, config, &raw);
+    for (Diagnostic& d : raw) {
+      const std::string tag = suppression_tag(d.rule);
+      bool suppressed = false;
+      if (!tag.empty()) {
+        for (const Annotation& ann : lexed[i].annotations) {
+          if (ann.target_line != d.line) continue;
+          if (std::find(ann.tags.begin(), ann.tags.end(), tag) !=
+              ann.tags.end()) {
+            suppressed = true;
+            break;
+          }
+        }
+      }
+      if (suppressed) {
+        ++result.suppressed;
+      } else {
+        result.diagnostics.push_back(std::move(d));
+      }
+    }
+  }
+
+  std::sort(result.diagnostics.begin(), result.diagnostics.end(),
+            diagnostic_before);
+  return result;
+}
+
+int fix_annotations(std::vector<SourceFile>* files,
+                    const std::vector<Diagnostic>& findings) {
+  // Group insertion lines per file; walk bottom-up so earlier insertions do
+  // not shift later line numbers.
+  std::map<std::string, std::map<int, std::string, std::greater<int>>> plan;
+  for (const Diagnostic& d : findings) {
+    const std::string tag = suppression_tag(d.rule);
+    if (tag.empty()) continue;
+    plan[d.file].emplace(
+        d.line, "// lint: " + tag + " -- TODO(lint): justify this suppression");
+  }
+
+  int inserted = 0;
+  for (SourceFile& f : *files) {
+    const auto it = plan.find(f.path);
+    if (it == plan.end()) continue;
+    std::vector<std::string> lines;
+    {
+      std::size_t start = 0;
+      for (std::size_t i = 0; i <= f.content.size(); ++i) {
+        if (i == f.content.size() || f.content[i] == '\n') {
+          lines.push_back(f.content.substr(start, i - start));
+          start = i + 1;
+        }
+      }
+      // A trailing newline yields one phantom empty segment; drop it so
+      // re-joining reproduces the original byte-for-byte.
+      if (!f.content.empty() && f.content.back() == '\n') lines.pop_back();
+    }
+    for (const auto& [line, comment] : it->second) {
+      if (line < 1 || static_cast<std::size_t>(line) > lines.size()) continue;
+      const std::string& code = lines[static_cast<std::size_t>(line) - 1];
+      const std::size_t indent_len = code.find_first_not_of(" \t");
+      const std::string indent =
+          indent_len == std::string::npos ? "" : code.substr(0, indent_len);
+      lines.insert(lines.begin() + (line - 1), indent + comment);
+      ++inserted;
+    }
+    std::string rebuilt;
+    for (const std::string& l : lines) {
+      rebuilt += l;
+      rebuilt += '\n';
+    }
+    f.content = std::move(rebuilt);
+  }
+  return inserted;
+}
+
+}  // namespace ftes::lint

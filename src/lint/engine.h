@@ -1,0 +1,52 @@
+// The ftes-lint engine: loads a source tree, runs the rules in two passes
+// (tree-wide unordered-name index, then per-file checks), applies
+// suppression annotations, and can mechanically insert missing suppression
+// comments (--fix-annotations).
+//
+// Everything is deterministic: files are visited in sorted path order and
+// diagnostics are emitted in (file, line, rule) order, so the tool's output
+// and the generated baseline are byte-stable across platforms and runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/config.h"
+#include "lint/diagnostic.h"
+
+namespace ftes::lint {
+
+struct SourceFile {
+  std::string path;  ///< relative to the lint root, '/'-separated
+  std::string content;
+};
+
+struct LintResult {
+  /// Post-suppression findings, sorted by (file, line, rule).
+  std::vector<Diagnostic> diagnostics;
+  int files_scanned = 0;
+  int suppressed = 0;  ///< findings silenced by a matching annotation
+};
+
+/// Runs all rules over the given files.
+[[nodiscard]] LintResult run_lint(const std::vector<SourceFile>& files,
+                                  const LintConfig& config);
+
+/// Loads every C++ source under root/<scan_root> for each configured scan
+/// root (missing roots are skipped).  Paths in the result are relative to
+/// `root` and sorted.
+[[nodiscard]] std::vector<SourceFile> load_tree(const std::string& root,
+                                                const LintConfig& config);
+
+/// For every suppressible finding, inserts a suppression comment line above
+/// the offending line (matching its indentation) with a TODO justification:
+///
+///   // lint: <tag> -- TODO(lint): justify this suppression
+///
+/// Returns the number of insertions; `files` contents are rewritten in
+/// place.  Non-suppressible findings (nondeterminism, annotation hygiene)
+/// are left alone -- those need a code fix, not a comment.
+int fix_annotations(std::vector<SourceFile>* files,
+                    const std::vector<Diagnostic>& findings);
+
+}  // namespace ftes::lint

@@ -1,0 +1,256 @@
+#include "lint/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ftes::lint {
+namespace {
+
+[[nodiscard]] bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+[[nodiscard]] bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+[[nodiscard]] std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Parses one "//"-comment body into an annotation.  Returns false when the
+/// comment is not a lint directive.
+bool parse_annotation(const std::string& body, int line, Annotation* out) {
+  std::string text = trim(body);
+  // Tolerate doc-comment slashes and a leading '!' (/// lint:, //! lint:).
+  while (!text.empty() && (text.front() == '/' || text.front() == '!')) {
+    text.erase(text.begin());
+  }
+  text = trim(text);
+  constexpr const char kPrefix[] = "lint:";
+  if (text.compare(0, sizeof(kPrefix) - 1, kPrefix) != 0) return false;
+  text = trim(text.substr(sizeof(kPrefix) - 1));
+
+  std::string tags_part = text;
+  std::string why;
+  if (const std::size_t dash = text.find("--"); dash != std::string::npos) {
+    tags_part = trim(text.substr(0, dash));
+    why = trim(text.substr(dash + 2));
+  }
+  out->line = line;
+  out->justified = !why.empty();
+  out->why = why;
+  out->tags.clear();
+  std::size_t pos = 0;
+  while (pos <= tags_part.size()) {
+    const std::size_t comma = tags_part.find(',', pos);
+    const std::string tag =
+        trim(comma == std::string::npos ? tags_part.substr(pos)
+                                        : tags_part.substr(pos, comma - pos));
+    if (!tag.empty()) out->tags.push_back(tag);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return !out->tags.empty();
+}
+
+}  // namespace
+
+LexedFile lex(const std::string& source) {
+  LexedFile out;
+
+  // Raw lines (anchor text, indentation for --fix-annotations).
+  {
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= source.size(); ++i) {
+      if (i == source.size() || source[i] == '\n') {
+        std::string line = source.substr(start, i - start);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        out.lines.push_back(std::move(line));
+        start = i + 1;
+      }
+    }
+  }
+
+  const std::size_t n = source.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool line_has_code = false;  // any token since the last newline?
+
+  auto skip_line_comment = [&] {  // at "//"; returns at '\n' or EOF
+    const std::size_t body_start = i + 2;
+    while (i < n && source[i] != '\n') ++i;
+    Annotation ann;
+    if (parse_annotation(source.substr(body_start, i - body_start), line,
+                         &ann)) {
+      out.annotations.push_back(ann);
+    }
+  };
+
+  auto skip_block_comment = [&] {  // at "/*"
+    i += 2;
+    while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+      if (source[i] == '\n') ++line;
+      ++i;
+    }
+    i = std::min(n, i + 2);
+  };
+
+  auto skip_string = [&](char quote) {  // at the opening quote
+    ++i;
+    while (i < n && source[i] != quote) {
+      if (source[i] == '\\' && i + 1 < n) ++i;
+      if (source[i] == '\n') ++line;  // unterminated; keep line count sane
+      ++i;
+    }
+    if (i < n) ++i;
+  };
+
+  auto skip_raw_string = [&] {  // at the '"' of R"delim(
+    ++i;
+    std::string delim;
+    while (i < n && source[i] != '(') delim.push_back(source[i++]);
+    const std::string close = ")" + delim + "\"";
+    const std::size_t end = source.find(close, i);
+    for (std::size_t j = i; j < std::min(end, n); ++j) {
+      if (source[j] == '\n') ++line;
+    }
+    i = end == std::string::npos ? n : end + close.size();
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      line_has_code = false;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      skip_line_comment();
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      skip_block_comment();
+      continue;
+    }
+    if (c == '#' && !line_has_code) {
+      // Preprocessor directive: skip the logical line (honoring backslash
+      // continuations) so includes and macro bodies never trip a rule.
+      while (i < n) {
+        if (source[i] == '\n') {
+          if (i > 0 && source[i - 1] == '\\') {
+            ++line;
+            ++i;
+            continue;
+          }
+          break;  // the '\n' itself is handled by the main loop
+        }
+        if (source[i] == '/' && i + 1 < n && source[i + 1] == '/') {
+          skip_line_comment();
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    if (c == '"') {
+      skip_string('"');
+      line_has_code = true;
+      continue;
+    }
+    if (c == '\'') {
+      skip_string('\'');
+      line_has_code = true;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && is_ident_char(source[j])) ++j;
+      std::string word = source.substr(i, j - i);
+      // String-literal prefixes: R"(, u8R"(, L"...", etc.
+      if (j < n && source[j] == '"') {
+        static const char* kRawPrefixes[] = {"R", "u8R", "uR", "UR", "LR"};
+        static const char* kStrPrefixes[] = {"u8", "u", "U", "L"};
+        if (std::find_if(std::begin(kRawPrefixes), std::end(kRawPrefixes),
+                         [&](const char* p) { return word == p; }) !=
+            std::end(kRawPrefixes)) {
+          i = j;
+          skip_raw_string();
+          line_has_code = true;
+          continue;
+        }
+        if (std::find_if(std::begin(kStrPrefixes), std::end(kStrPrefixes),
+                         [&](const char* p) { return word == p; }) !=
+            std::end(kStrPrefixes)) {
+          i = j;
+          skip_string('"');
+          line_has_code = true;
+          continue;
+        }
+      }
+      out.tokens.push_back({TokKind::Identifier, std::move(word), line});
+      i = j;
+      line_has_code = true;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (is_ident_char(source[j]) || source[j] == '\'' ||
+                       ((source[j] == '+' || source[j] == '-') && j > i &&
+                        (source[j - 1] == 'e' || source[j - 1] == 'E' ||
+                         source[j - 1] == 'p' || source[j - 1] == 'P')) ||
+                       source[j] == '.')) {
+        ++j;
+      }
+      out.tokens.push_back({TokKind::Number, source.substr(i, j - i), line});
+      i = j;
+      line_has_code = true;
+      continue;
+    }
+    // Punctuation.  Only "::" and "->" are fused: rules qualify names with
+    // them; every other operator can stay single-char.
+    if (c == ':' && i + 1 < n && source[i + 1] == ':') {
+      out.tokens.push_back({TokKind::Punct, "::", line});
+      i += 2;
+    } else if (c == '-' && i + 1 < n && source[i + 1] == '>') {
+      out.tokens.push_back({TokKind::Punct, "->", line});
+      i += 2;
+    } else {
+      out.tokens.push_back({TokKind::Punct, std::string(1, c), line});
+      ++i;
+    }
+    line_has_code = true;
+  }
+
+  // Resolve each annotation to the line of code it governs: its own line for
+  // trailing comments, otherwise the next line holding any token.
+  for (Annotation& ann : out.annotations) {
+    ann.target_line = ann.line;
+    bool same_line = false;
+    int next_code = 0;
+    for (const Token& t : out.tokens) {
+      if (t.line == ann.line) {
+        same_line = true;
+        break;
+      }
+      if (t.line > ann.line) {
+        next_code = t.line;
+        break;
+      }
+    }
+    if (!same_line && next_code > 0) ann.target_line = next_code;
+  }
+
+  return out;
+}
+
+}  // namespace ftes::lint

@@ -1,0 +1,52 @@
+// Lightweight C++ tokenizer for the ftes-lint rule engine.
+//
+// This is deliberately NOT a compiler front end: rules only need a stream of
+// identifiers/punctuators with line numbers, with comments, string/char
+// literals and preprocessor directives stripped (so "std::rand" inside a log
+// message or a #define never trips a rule).  What IS preserved from comments
+// are the lint suppression annotations (written here in quotes so this very
+// comment does not register as one):
+//
+//   "lint: <tag>[, <tag>...] -- <one-line justification>"  after "//"
+//
+// An annotation suppresses matching diagnostics on the same line (trailing
+// comment) or on the next line that contains code (full-line comment above
+// the offending statement; intervening comment-only lines are fine).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ftes::lint {
+
+enum class TokKind {
+  Identifier,  ///< identifiers and keywords
+  Number,
+  Punct,  ///< one char each, except "::" and "->" which stay fused
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  ///< 1-based
+};
+
+struct Annotation {
+  int line = 0;                   ///< line the comment sits on
+  int target_line = 0;            ///< line of code the annotation governs
+  std::vector<std::string> tags;  ///< parsed tag list
+  bool justified = false;         ///< true when a "-- why" part is present
+  std::string why;                ///< the justification text itself
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Annotation> annotations;
+  std::vector<std::string> lines;  ///< raw source lines, for anchors/indent
+};
+
+/// Tokenizes `source`.  Never fails: malformed input degrades to fewer
+/// tokens, never to an exception (lint must not crash on odd vendored code).
+[[nodiscard]] LexedFile lex(const std::string& source);
+
+}  // namespace ftes::lint

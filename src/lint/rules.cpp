@@ -1,0 +1,421 @@
+#include "lint/rules.h"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+
+namespace ftes::lint {
+namespace {
+
+using Tokens = std::vector<Token>;
+
+[[nodiscard]] bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokKind::Identifier && t.text == text;
+}
+
+[[nodiscard]] bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokKind::Punct && t.text == text;
+}
+
+/// Index of the token matching the opener at `open_idx` (same-kind nesting),
+/// or tokens.size() when unbalanced.
+[[nodiscard]] std::size_t match_forward(const Tokens& toks,
+                                        std::size_t open_idx,
+                                        const char* open, const char* close) {
+  int depth = 0;
+  for (std::size_t i = open_idx; i < toks.size(); ++i) {
+    if (is_punct(toks[i], open)) ++depth;
+    if (is_punct(toks[i], close) && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+[[nodiscard]] std::string anchor_for(const LexedFile& file, int line) {
+  if (line < 1 || static_cast<std::size_t>(line) > file.lines.size()) {
+    return {};
+  }
+  const std::string& raw = file.lines[static_cast<std::size_t>(line) - 1];
+  const std::size_t b = raw.find_first_not_of(" \t");
+  if (b == std::string::npos) return {};
+  return raw.substr(b, raw.find_last_not_of(" \t") - b + 1);
+}
+
+void emit(const std::string& path, const LexedFile& file, int line,
+          const char* rule, std::string message,
+          std::vector<Diagnostic>* out) {
+  // One diagnostic per (rule, line): a line like `std::map<K, std::set<V>>`
+  // is one finding, not two.
+  for (const Diagnostic& d : *out) {
+    if (d.line == line && d.rule == rule) return;
+  }
+  out->push_back(Diagnostic{path, line, rule, std::move(message),
+                            anchor_for(file, line)});
+}
+
+[[nodiscard]] bool is_unordered_container(const Token& t) {
+  return is_ident(t, "unordered_map") || is_ident(t, "unordered_set") ||
+         is_ident(t, "unordered_multimap") || is_ident(t, "unordered_multiset");
+}
+
+// --- R1: iteration over unordered containers -------------------------------
+
+void rule_unordered_iter(const std::string& path, const LexedFile& file,
+                         const std::set<std::string>& names,
+                         std::vector<Diagnostic>* out) {
+  const Tokens& toks = file.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    // Range-for whose range expression mentions an unordered-declared name.
+    if (is_ident(toks[i], "for") && is_punct(toks[i + 1], "(")) {
+      const std::size_t close = match_forward(toks, i + 1, "(", ")");
+      if (close == toks.size()) continue;
+      // The range-for ':' sits at nesting depth 1 (directly inside the for
+      // parens); a ternary's ':' is consumed by its pending '?'.
+      std::size_t colon = 0;
+      int depth = 0;
+      int pending_ternary = 0;
+      for (std::size_t k = i + 1; k < close; ++k) {
+        if (is_punct(toks[k], "(") || is_punct(toks[k], "[") ||
+            is_punct(toks[k], "{")) {
+          ++depth;
+        } else if (is_punct(toks[k], ")") || is_punct(toks[k], "]") ||
+                   is_punct(toks[k], "}")) {
+          --depth;
+        } else if (depth == 1 && is_punct(toks[k], "?")) {
+          ++pending_ternary;
+        } else if (depth == 1 && is_punct(toks[k], ":")) {
+          if (pending_ternary > 0) {
+            --pending_ternary;
+          } else {
+            colon = k;
+            break;
+          }
+        } else if (depth == 1 && is_punct(toks[k], ";")) {
+          break;  // classic for loop
+        }
+      }
+      if (colon == 0) continue;
+      for (std::size_t k = colon + 1; k < close; ++k) {
+        if (toks[k].kind == TokKind::Identifier &&
+            names.count(toks[k].text) > 0) {
+          emit(path, file, toks[i].line, kRuleUnorderedIter,
+               "range-for over unordered container '" + toks[k].text +
+                   "': iteration order is implementation-defined and can "
+                   "leak into results; sort/flatten it or annotate the loop "
+                   "with `// lint: order-insensitive -- <why>`",
+               out);
+          break;
+        }
+      }
+    }
+    // Explicit iterator walks: name.begin() / name->cbegin() / ...
+    if (toks[i].kind == TokKind::Identifier && names.count(toks[i].text) > 0 &&
+        i + 2 < toks.size() &&
+        (is_punct(toks[i + 1], ".") || is_punct(toks[i + 1], "->"))) {
+      static constexpr std::array<const char*, 4> kBegin = {
+          "begin", "cbegin", "rbegin", "crbegin"};
+      for (const char* b : kBegin) {
+        if (is_ident(toks[i + 2], b)) {
+          emit(path, file, toks[i].line, kRuleUnorderedIter,
+               "iterator walk over unordered container '" + toks[i].text +
+                   "': iteration order is implementation-defined; sort the "
+                   "keys first or annotate with "
+                   "`// lint: order-insensitive -- <why>`",
+               out);
+          break;
+        }
+      }
+    }
+  }
+}
+
+// --- R2: nondeterminism sources ---------------------------------------------
+
+void rule_nondeterminism(const std::string& path, const LexedFile& file,
+                         std::vector<Diagnostic>* out) {
+  const Tokens& toks = file.tokens;
+
+  // Per-file clock aliases: `using Clock = std::chrono::steady_clock;`.
+  std::set<std::string> clock_aliases;
+  static constexpr std::array<const char*, 3> kClocks = {
+      "steady_clock", "system_clock", "high_resolution_clock"};
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "using") || !is_punct(toks[i + 2], "=")) continue;
+    for (std::size_t k = i + 3; k < toks.size() && !is_punct(toks[k], ";");
+         ++k) {
+      for (const char* c : kClocks) {
+        if (is_ident(toks[k], c)) clock_aliases.insert(toks[i + 1].text);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::Identifier) continue;
+    const bool after_member_access =
+        i > 0 && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"));
+    const bool qualified = i > 0 && is_punct(toks[i - 1], "::");
+    const bool std_qualified =
+        qualified && i >= 2 && is_ident(toks[i - 2], "std");
+
+    if (t.text == "random_device") {
+      emit(path, file, t.line, kRuleNondeterminism,
+           "std::random_device is an entropy source; derive every stream "
+           "from the run's printed seed (util/random.h) instead",
+           out);
+      continue;
+    }
+    if ((t.text == "rand" || t.text == "srand") && i + 1 < toks.size() &&
+        is_punct(toks[i + 1], "(") && !after_member_access &&
+        (!qualified || std_qualified)) {
+      emit(path, file, t.line, kRuleNondeterminism,
+           t.text + "() draws from hidden global state; use the seeded "
+                    "ftes::Rng (util/random.h) instead",
+           out);
+      continue;
+    }
+    if (t.text == "time" && i + 2 < toks.size() &&
+        is_punct(toks[i + 1], "(") && !after_member_access &&
+        (!qualified || std_qualified) &&
+        (i == 0 || toks[i - 1].kind != TokKind::Identifier) &&
+        (is_ident(toks[i + 2], "nullptr") || is_ident(toks[i + 2], "NULL") ||
+         toks[i + 2].text == "0" || is_punct(toks[i + 2], "&"))) {
+      emit(path, file, t.line, kRuleNondeterminism,
+           "time() reads the wall clock; results must not depend on when "
+           "the run happens (allowlisted: stopwatch/metrics/bench reporters)",
+           out);
+      continue;
+    }
+    if (t.text == "now" && i + 1 < toks.size() && is_punct(toks[i + 1], "(") &&
+        qualified && i >= 2) {
+      const std::string& q = toks[i - 2].text;
+      const bool is_clock =
+          std::find_if(kClocks.begin(), kClocks.end(),
+                       [&](const char* c) { return q == c; }) != kClocks.end() ||
+          clock_aliases.count(q) > 0;
+      if (is_clock) {
+        emit(path, file, t.line, kRuleNondeterminism,
+             q + "::now() reads a clock in result-affecting code; only the "
+                 "allowlisted stopwatch/watchdog/bench files may (see "
+                 "docs/INVARIANTS.md R2)",
+             out);
+      }
+    }
+  }
+}
+
+// --- R3: parallel_for chunk bodies must poll cancellation -------------------
+
+void rule_missing_cancel_poll(const std::string& path, const LexedFile& file,
+                              std::vector<Diagnostic>* out) {
+  const Tokens& toks = file.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "parallel_for") || !is_punct(toks[i + 1], "(")) {
+      continue;
+    }
+    // Skip the declarations/definitions in util/thread_pool.*: a preceding
+    // type or qualifier means this is not a call site.
+    if (i > 0 && (is_ident(toks[i - 1], "void") || is_punct(toks[i - 1], "::"))) {
+      continue;
+    }
+    const std::size_t close = match_forward(toks, i + 1, "(", ")");
+    if (close == toks.size()) continue;
+    std::size_t body_open = toks.size();
+    for (std::size_t k = i + 2; k < close; ++k) {
+      if (is_punct(toks[k], "{")) {
+        body_open = k;
+        break;
+      }
+    }
+    bool polled = false;
+    if (body_open != toks.size()) {
+      const std::size_t body_close = match_forward(toks, body_open, "{", "}");
+      static constexpr std::array<const char*, 5> kPolls = {
+          "poll", "cancelled", "is_cancelled", "throw_if_cancelled",
+          "check_cancel"};
+      for (std::size_t k = body_open; k < std::min(body_close, close); ++k) {
+        for (const char* p : kPolls) {
+          if (is_ident(toks[k], p)) polled = true;
+        }
+      }
+    }
+    if (!polled) {
+      emit(path, file, toks[i].line, kRuleMissingCancelPoll,
+           body_open == toks.size()
+               ? std::string("parallel_for body is not an inline lambda; "
+                             "cannot verify a cancellation poll -- annotate "
+                             "with `// lint: cancel-ok -- <why>` if the body "
+                             "polls elsewhere")
+               : std::string(
+                     "parallel_for chunk body never polls a "
+                     "CancellationToken: an armed deadline cannot fire until "
+                     "the whole loop drains; add `if (cancel && "
+                     "cancel->poll()) return;` or annotate with "
+                     "`// lint: cancel-ok -- <why>`"),
+           out);
+    }
+  }
+}
+
+// --- R4: no floating point in integer-scaled result code --------------------
+
+void rule_float_in_result_path(const std::string& path, const LexedFile& file,
+                               std::vector<Diagnostic>* out) {
+  for (const Token& t : file.tokens) {
+    if (is_ident(t, "float") || is_ident(t, "double")) {
+      emit(path, file, t.line, kRuleFloatInResultPath,
+           "'" + t.text + "' in integer-scaled result code: times are int64 "
+                          "ticks (util/time_types.h) so accumulation order "
+                          "can never change a result; use integer math or "
+                          "annotate with `// lint: float-ok -- <why>`",
+           out);
+    }
+  }
+}
+
+// --- R5: ordered containers on the eval hot path ----------------------------
+
+void rule_ordered_hot_path(const std::string& path, const LexedFile& file,
+                           std::vector<Diagnostic>* out) {
+  const Tokens& toks = file.tokens;
+  for (std::size_t i = 2; i + 1 < toks.size(); ++i) {
+    if (!is_punct(toks[i - 1], "::") || !is_ident(toks[i - 2], "std") ||
+        !is_punct(toks[i + 1], "<")) {
+      continue;
+    }
+    if (is_ident(toks[i], "map") || is_ident(toks[i], "set") ||
+        is_ident(toks[i], "multimap") || is_ident(toks[i], "multiset")) {
+      emit(path, file, toks[i].line, kRuleOrderedHotPath,
+           "std::" + toks[i].text + " in eval-hot-path code: PRs 2-3 "
+               "flattened node-based containers out of the per-move "
+               "evaluation loop; use a flat vector/hash or annotate with "
+               "`// lint: cold-path -- <why>`",
+           out);
+    }
+  }
+}
+
+// --- annotation hygiene ------------------------------------------------------
+
+void rule_annotations(const std::string& path, const LexedFile& file,
+                      const LintConfig& config,
+                      std::vector<Diagnostic>* out) {
+  static const std::set<std::string> kKnown = {
+      kTagOrderInsensitive, kTagCancelOk, kTagFloatOk, kTagColdPath};
+  for (const Annotation& ann : file.annotations) {
+    bool any_known = false;
+    for (const std::string& tag : ann.tags) {
+      if (kKnown.count(tag) > 0) {
+        any_known = true;
+      } else {
+        emit(path, file, ann.line, kRuleUnknownAnnotation,
+             "unknown lint tag '" + tag + "' (known: order-insensitive, "
+                 "cancel-ok, float-ok, cold-path); a typo here silently "
+                 "disables nothing and suppresses nothing",
+             out);
+      }
+    }
+    const bool placeholder = ann.why.find("TODO") != std::string::npos;
+    if (config.require_justifications && any_known &&
+        (!ann.justified || placeholder)) {
+      emit(path, file, ann.line, kRuleNeedsJustification,
+           placeholder
+               ? std::string("suppression justification is still the "
+                             "--fix-annotations TODO placeholder; replace it "
+                             "with the real one-line why")
+               : std::string("suppression annotation lacks a justification; "
+                             "write `// lint: <tag> -- <one-line why>`"),
+           out);
+    }
+  }
+}
+
+}  // namespace
+
+std::string suppression_tag(const std::string& rule) {
+  if (rule == kRuleUnorderedIter) return kTagOrderInsensitive;
+  if (rule == kRuleMissingCancelPoll) return kTagCancelOk;
+  if (rule == kRuleFloatInResultPath) return kTagFloatOk;
+  if (rule == kRuleOrderedHotPath) return kTagColdPath;
+  return {};
+}
+
+std::vector<RuleInfo> rule_table() {
+  return {
+      {kRuleUnorderedIter, kTagOrderInsensitive,
+       "no iteration over std::unordered_{map,set} whose order can reach "
+       "results"},
+      {kRuleNondeterminism, "",
+       "no entropy/wall-clock sources outside the allowlisted "
+       "stopwatch/watchdog/bench files"},
+      {kRuleMissingCancelPoll, kTagCancelOk,
+       "every parallel_for chunk body in opt/sched/sim/batch polls a "
+       "CancellationToken"},
+      {kRuleFloatInResultPath, kTagFloatOk,
+       "no float/double in sched/sim/fault result code (integer-scaled "
+       "evaluation)"},
+      {kRuleOrderedHotPath, kTagColdPath,
+       "no std::map/std::set reintroduced into opt/sched/sim without a "
+       "cold-path proof"},
+      {kRuleUnknownAnnotation, "", "every `// lint:` tag must be a known tag"},
+      {kRuleNeedsJustification, "",
+       "with --require-justifications, every suppression carries a -- why"},
+  };
+}
+
+void collect_unordered_names(const LexedFile& file,
+                             std::set<std::string>* names) {
+  const Tokens& toks = file.tokens;
+  std::set<std::string> aliases;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_unordered_container(toks[i]) || !is_punct(toks[i + 1], "<")) {
+      continue;
+    }
+    // `using Wcets = std::unordered_map<...>;` -- remember the alias so
+    // `Wcets wcet;` below also registers.
+    if (i >= 4 && is_punct(toks[i - 1], "::") && is_punct(toks[i - 3], "=") &&
+        toks[i - 4].kind == TokKind::Identifier &&
+        i >= 5 && is_ident(toks[i - 5], "using")) {
+      aliases.insert(toks[i - 4].text);
+      continue;
+    }
+    std::size_t j = match_forward(toks, i + 1, "<", ">");
+    if (j == toks.size()) continue;
+    ++j;
+    while (j < toks.size() &&
+           (is_punct(toks[j], "&") || is_punct(toks[j], "*") ||
+            is_ident(toks[j], "const"))) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == TokKind::Identifier) {
+      names->insert(toks[j].text);
+    }
+  }
+  // One level of alias-typed declarations within the same file.
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind == TokKind::Identifier && aliases.count(toks[i].text) &&
+        toks[i + 1].kind == TokKind::Identifier) {
+      names->insert(toks[i + 1].text);
+    }
+  }
+}
+
+void run_rules(const std::string& path, const LexedFile& file,
+               const std::set<std::string>& unordered_names,
+               const LintConfig& config, std::vector<Diagnostic>* out) {
+  rule_unordered_iter(path, file, unordered_names, out);
+  if (!is_allowlisted(path, config.nondet_allowlist)) {
+    rule_nondeterminism(path, file, out);
+  }
+  if (in_scope(path, config.cancel_scopes)) {
+    rule_missing_cancel_poll(path, file, out);
+  }
+  if (in_scope(path, config.integer_result_scopes)) {
+    rule_float_in_result_path(path, file, out);
+  }
+  if (in_scope(path, config.hot_path_scopes)) {
+    rule_ordered_hot_path(path, file, out);
+  }
+  rule_annotations(path, file, config, out);
+}
+
+}  // namespace ftes::lint

@@ -1,0 +1,67 @@
+// The five project-invariant rules enforced by ftes-lint, plus the two
+// annotation hygiene checks.  Each rule is a pure function over one lexed
+// file (R1 additionally consumes the tree-wide unordered-name index) that
+// appends diagnostics; suppression and baselines are applied by the engine.
+//
+//   rule id                        suppression tag      protects
+//   unordered-iter            (R1) order-insensitive    bit-identical results
+//   nondeterminism            (R2) allowlist only       reproducible runs
+//   missing-cancel-poll       (R3) cancel-ok            bounded cancel latency
+//   float-in-result-path      (R4) float-ok             integer-scaled eval
+//   ordered-container-hot-path(R5) cold-path            flattened hot paths
+//
+// See docs/INVARIANTS.md for the full catalogue (which PR established each
+// invariant and what breaking it looks like).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/config.h"
+#include "lint/diagnostic.h"
+#include "lint/lexer.h"
+
+namespace ftes::lint {
+
+/// Rule ids.
+inline constexpr char kRuleUnorderedIter[] = "unordered-iter";
+inline constexpr char kRuleNondeterminism[] = "nondeterminism";
+inline constexpr char kRuleMissingCancelPoll[] = "missing-cancel-poll";
+inline constexpr char kRuleFloatInResultPath[] = "float-in-result-path";
+inline constexpr char kRuleOrderedHotPath[] = "ordered-container-hot-path";
+inline constexpr char kRuleUnknownAnnotation[] = "unknown-annotation";
+inline constexpr char kRuleNeedsJustification[] = "annotation-needs-justification";
+
+/// Suppression tags (kRuleNondeterminism is allowlist-gated, not taggable:
+/// a clock read is either sanctioned infrastructure or a bug).
+inline constexpr char kTagOrderInsensitive[] = "order-insensitive";
+inline constexpr char kTagCancelOk[] = "cancel-ok";
+inline constexpr char kTagFloatOk[] = "float-ok";
+inline constexpr char kTagColdPath[] = "cold-path";
+
+/// Maps a rule id to its suppression tag; empty when not suppressible.
+[[nodiscard]] std::string suppression_tag(const std::string& rule);
+
+/// One row of `ftes_lint --list-rules`.
+struct RuleInfo {
+  std::string id;
+  std::string tag;  ///< empty = not suppressible by annotation
+  std::string summary;
+};
+[[nodiscard]] std::vector<RuleInfo> rule_table();
+
+/// Pass 1 over every scanned file: collects the declared names of
+/// unordered containers (members like `wcet`, locals, one level of
+/// `using X = std::unordered_map<...>` aliases).  The ordered set keeps the
+/// engine itself deterministic.
+void collect_unordered_names(const LexedFile& file,
+                             std::set<std::string>* names);
+
+/// Pass 2: runs R1-R5 plus the annotation checks on one file, appending raw
+/// (pre-suppression) diagnostics to `out`.
+void run_rules(const std::string& path, const LexedFile& file,
+               const std::set<std::string>& unordered_names,
+               const LintConfig& config, std::vector<Diagnostic>* out);
+
+}  // namespace ftes::lint

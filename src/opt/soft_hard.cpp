@@ -158,6 +158,8 @@ SoftHardResult optimize_soft_hard(const Application& app,
       }
       const Process& p = app.process(ProcessId{i});
       Time wcet = 0;
+      // lint: order-insensitive -- max over the values is commutative, so
+      // hash order cannot change the density tie-break below
       for (const auto& [node, c] : p.wcet) wcet = std::max(wcet, c);
       const double density =
           p.soft->utility / static_cast<double>(std::max<Time>(wcet, 1));

@@ -293,6 +293,9 @@ class CondSim {
       }
     }
 
+    // lint: cold-path -- per-scenario simulation state during table
+    // generation; the per-move evaluation path (opt/eval_context.h) never
+    // enters the conditional scheduler
     std::map<TripleKey, bool> resolved;
     auto resolve = [&](int dst_copy, MessageId mid, int src_copy, Time at) {
       TripleKey key{dst_copy, mid.get(), src_copy};
@@ -633,6 +636,9 @@ class CondSim {
       bool first = true;
     };
     // key: (node or -1 for bus, row, label, start)
+    // lint: cold-path -- guard aggregation when emitting the final tables,
+    // once per synthesized schedule; ordered keys double as the
+    // deterministic row order of the exported tables
     std::map<std::tuple<int, std::string, std::string, Time>, Agg> agg;
 
     auto intersect = [](const Guard& a, const Guard& b) {

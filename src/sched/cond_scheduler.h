@@ -115,6 +115,8 @@ struct CondScheduleResult {
   Time wcsl = 0;
   int scenario_count = 0;
   /// Pinned start of every frozen copy, keyed by display label.
+  // lint: cold-path -- result metadata built once per schedule; ordered so
+  // transparency reports print deterministically
   std::map<std::string, Time> frozen_starts;
 };
 

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -90,10 +90,28 @@ std::size_t count_total_events(const Application& app,
   return events;
 }
 
-/// The default snapshot interval for a build of that many events.
+/// The default snapshot interval for a build of that many events: the
+/// nearest integer to sqrt(events), in pure integer math so the interval
+/// (and thus every snapshot-resume counter) is bit-identical across libm
+/// implementations.  r = floor(sqrt(n)) by digit-pair isqrt, bumped past
+/// the midpoint since (r + 0.5)^2 = r^2 + r + 0.25.
 int interval_for_events(std::size_t events) {
-  return std::max(
-      1, static_cast<int>(std::llround(std::sqrt(static_cast<double>(events)))));
+  std::size_t r = 0;
+  std::size_t rem = events;
+  std::size_t bit = std::size_t{1}
+                    << (std::numeric_limits<std::size_t>::digits - 2);
+  while (bit > rem) bit >>= 2;
+  while (bit != 0) {
+    if (rem >= r + bit) {
+      rem -= r + bit;
+      r = (r >> 1) + bit;
+    } else {
+      r >>= 1;
+    }
+    bit >>= 2;
+  }
+  if (events - r * r > r) ++r;  // round half up, matching llround(sqrt(n))
+  return std::max(1, static_cast<int>(r));
 }
 
 struct CopyVertex {

@@ -107,6 +107,7 @@ RootValidation validate_root_schedule(const Application& app,
   };
 
   // Node orders by pinned start.
+  // lint: cold-path -- one-shot root-schedule validation, not move eval
   std::map<std::int32_t, std::vector<const RootSlot*>> per_node;
   for (const RootSlot& s : root.slots) {
     per_node[s.node.get()].push_back(&s);
@@ -117,11 +118,13 @@ RootValidation validate_root_schedule(const Application& app,
                 return a->start < b->start;
               });
   }
+  // lint: cold-path -- one-shot root-schedule validation, not move eval
   std::map<std::pair<std::int32_t, int>, const RootSlot*> slot_of;
   for (const RootSlot& s : root.slots) {
     slot_of[{s.ref.process.get(), s.ref.copy}] = &s;
   }
   // Pinned message slots by (msg, src copy).
+  // lint: cold-path -- one-shot root-schedule validation, not move eval
   std::map<std::pair<std::int32_t, int>, const RootMessageSlot*> msg_slot;
   for (const RootMessageSlot& m : root.messages) {
     msg_slot[{m.msg.get(), m.src_copy}] = &m;

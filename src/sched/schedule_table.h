@@ -40,6 +40,8 @@ class CondRegistry {
   [[nodiscard]] std::string render(const Guard& guard) const;
 
  private:
+  // lint: cold-path -- condition-id interning while tables are built; the
+  // move-evaluation loop never touches ScheduleTables
   std::map<std::pair<std::pair<std::int32_t, int>, int>, int> ids_;
   std::vector<std::string> labels_;
   std::vector<CopyRef> copies_;
@@ -56,6 +58,8 @@ struct TableEntry {
 };
 
 /// Rows keyed by row name ("P1", "m2", "F_P1^1"), values sorted by start.
+// lint: cold-path -- final exported table rows, built once per schedule;
+// the ordered keys are what makes table printing/diffing deterministic
 using TableRows = std::map<std::string, std::vector<TableEntry>>;
 
 struct ScheduleTables {

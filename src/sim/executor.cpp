@@ -130,10 +130,17 @@ ExecutionReport check_all_scenarios(const Application& app,
   const int threads = resolve_threads(options.threads);
   ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
   parallel_for(pool, schedule.traces.size(), threads, [&](std::size_t i) {
+    // Chunk-granular cancellation point: an armed deadline fires within one
+    // scenario check; the prefix already verified is folded below.
+    if (options.cancel && options.cancel->poll()) return;
     slots[i] = execute_scenario(app, assignment, schedule,
                                 schedule.traces[i]);
     std::sort(slots[i].violations.begin(), slots[i].violations.end());
   });
+  if (options.cancel && options.cancel->cancelled()) {
+    report.cancelled = true;
+    return report;  // a partial sweep must never read as a full validation
+  }
   for (ExecutionReport& one : slots) {
     report.completion = std::max(report.completion, one.completion);
     if (!one.ok) {
@@ -145,6 +152,8 @@ ExecutionReport check_all_scenarios(const Application& app,
   }
 
   // Property 3: transparency.
+  // lint: cold-path -- one-shot transparency check over final traces; the
+  // per-move evaluation path (EvalContext) never runs this.
   std::map<std::string, Time> frozen_start;
   for (const ScenarioTrace& trace : schedule.traces) {
     for (const ExecTrace& e : trace.execs) {

@@ -26,6 +26,7 @@
 #include "fault/policy.h"
 #include "fault/scenario.h"
 #include "sched/cond_scheduler.h"
+#include "util/cancellation.h"
 
 namespace ftes {
 
@@ -35,6 +36,10 @@ struct ExecutionReport {
   bool ok = true;
   std::vector<std::string> violations;
   Time completion = 0;  ///< worst completion over checked scenarios
+  /// The check was cancelled mid-flight: `ok` only covers the scenarios
+  /// verified before the token fired, so a cancelled report never counts
+  /// as a full validation.
+  bool cancelled = false;
 
   void fail(std::string what) {
     ok = false;
@@ -55,6 +60,10 @@ struct ExecCheckOptions {
   /// violations are sorted by message.
   int threads = 1;
   ThreadPool* pool = nullptr;  ///< nullptr = ThreadPool::shared()
+  /// Cooperative cancellation: polled once per scenario check, so an armed
+  /// deadline fires within one scenario instead of after the whole sweep.
+  /// A cancelled report has `cancelled` set and covers a scenario prefix.
+  CancellationToken* cancel = nullptr;
 };
 
 /// Runs properties 1-3 over every scenario covered by the schedule.

@@ -164,6 +164,8 @@ ScheduleFuzzer::Replayed ScheduleFuzzer::replay_trace(
   // Nominal condition values of this scenario: an entry is outcome-
   // consistent when every guard literal names a condition this scenario
   // reveals, with the revealed value.
+  // lint: cold-path -- per-trial replay bookkeeping in the fuzz harness;
+  // fuzzing runs after synthesis, never inside move evaluation
   std::map<int, bool> nominal_value;
   for (const Reveal& r : nom.reveals) nominal_value[r.cond_id] = r.value;
   auto consistent = [&](const Guard& g) {
@@ -211,7 +213,9 @@ ScheduleFuzzer::Replayed ScheduleFuzzer::replay_trace(
   const std::size_t n_copies = copies_.size();
   std::vector<Time> end2(n_copies, 0);
   std::vector<char> died2(n_copies, 0);
-  std::map<int, Time> reveal_at;  // cond_id -> replayed reveal time
+  // cond_id -> replayed reveal time
+  // lint: cold-path -- per-trial replay bookkeeping in the fuzz harness
+  std::map<int, Time> reveal_at;
   out.trace.execs.reserve(nom.execs.size());
 
   for (const ExecTrace& e : nom.execs) {
@@ -311,10 +315,13 @@ ScheduleFuzzer::Replayed ScheduleFuzzer::replay_trace(
 
   std::vector<Time> tx_start_phys(nom.txs.size(), 0);
   std::vector<Time> tx_finish(nom.txs.size(), 0);
-  std::map<int, Time> cond_tx_finish;  // cond_id -> broadcast finish
-  std::set<std::int32_t> frozen_msgs;  // msgs carried by a frozen sync tx
-  std::map<std::pair<std::int32_t, int>, Time> data_tx_finish;
-  std::map<std::int32_t, Time> sync_finish;
+  // Per-trial replay scratch (fuzz harness, off the move-eval path):
+  // cond_id -> broadcast finish, msgs carried by a frozen sync tx,
+  // (msg, src copy) -> finish, msg -> sync finish.
+  std::map<int, Time> cond_tx_finish;    // lint: cold-path -- see above
+  std::set<std::int32_t> frozen_msgs;    // lint: cold-path -- see above
+  std::map<std::pair<std::int32_t, int>, Time> data_tx_finish;  // lint: cold-path -- see above
+  std::map<std::int32_t, Time> sync_finish;  // lint: cold-path -- see above
   out.trace.txs.reserve(nom.txs.size());
 
   for (std::size_t ti = 0; ti < nom.txs.size(); ++ti) {

@@ -149,10 +149,14 @@ struct FuzzReport {
   long long failing_trials = 0;
   long long violations = 0;      ///< total violations over all trials
   /// Violation counts keyed by to_string(FuzzKind).
+  // lint: cold-path -- report counters; ordered keys give the fuzz report
+  // its deterministic print order
   std::map<std::string, long long> violations_by_kind;
   Time worst_completion = 0;     ///< max replayed makespan over all trials
   long long first_failing_trial = -1;
   std::vector<FuzzCounterexample> counterexamples;
+  // lint: float-ok -- wall-clock metadata for human reports; never printed
+  // in thread-count-diffed output and never folded into a result
   double seconds = 0.0;
 
   [[nodiscard]] bool ok() const { return failing_trials == 0; }
@@ -221,6 +225,7 @@ class ScheduleFuzzer {
   std::vector<CopyInfo> copies_;
   std::vector<int> first_copy_;
   /// scenario key (flattened hits) -> index into schedule_.traces.
+  // lint: cold-path -- built once per fuzz session over the final traces
   std::map<std::vector<int>, std::size_t> trace_index_;
 };
 

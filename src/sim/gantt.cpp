@@ -1,6 +1,7 @@
 #include "sim/gantt.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -15,10 +16,19 @@ std::string render_gantt(const Application& app, const Architecture& arch,
   for (const TxTrace& t : trace.txs) horizon = std::max(horizon, t.finish);
 
   const int width = std::max(options.width, 10);
-  const double scale = static_cast<double>(width) / static_cast<double>(horizon);
+  // Integer column mapping (no floats in sim/, R4): col(t) = t*width/horizon
+  // truncated.  `wide` guards the t*width product for absurd horizons by
+  // falling back to a ticks-per-column divisor.
+  const Time w = static_cast<Time>(width);
+  const bool wide = horizon > std::numeric_limits<Time>::max() / w;
+  const Time coarse = (horizon + w - 1) / w;  // ticks per column when wide
   auto col = [&](Time t) {
-    return std::min(width - 1,
-                    static_cast<int>(static_cast<double>(t) * scale));
+    const Time c = wide ? t / coarse : t * w / horizon;
+    return std::min(width - 1, static_cast<int>(c));
+  };
+  auto tick_at = [&](int c) {  // first tick rendered in column c
+    return wide ? static_cast<Time>(c) * coarse
+                : static_cast<Time>(c) * horizon / w;
   };
 
   std::ostringstream out;
@@ -39,7 +49,7 @@ std::string render_gantt(const Application& app, const Architecture& arch,
       const Time first_recovery =
           e.attempt_starts.size() > 1 ? e.attempt_starts[1] : e.end;
       for (int c = from; c <= to; ++c) {
-        const Time t = static_cast<Time>(c / scale);
+        const Time t = tick_at(c);
         lane[static_cast<std::size_t>(c)] = t >= first_recovery ? 'x' : '#';
       }
       if (e.died) lane[static_cast<std::size_t>(to)] = '!';

@@ -1,0 +1,12 @@
+// R2 fixture: wall-clock and entropy reads outside the allowlist.
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+long stamp() {
+  auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count() + std::rand();
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// R1 fixture: iterating an unordered container without an annotation.
+#include <unordered_map>
+
+namespace fixture {
+
+struct Inventory {
+  std::unordered_map<int, long> stock;
+};
+
+long total(const Inventory& inv) {
+  long sum = 0;
+  for (const auto& [sku, count] : inv.stock) sum += count;
+  return sum;
+}
+
+}  // namespace fixture

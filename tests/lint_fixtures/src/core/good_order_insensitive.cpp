@@ -1,0 +1,17 @@
+// R1 fixture: the same iteration, proven order-insensitive.
+#include <unordered_map>
+
+namespace fixture {
+
+struct Inventory {
+  std::unordered_map<int, long> stock;
+};
+
+long total(const Inventory& inv) {
+  long sum = 0;
+  // lint: order-insensitive -- integer sum over values is commutative
+  for (const auto& [sku, count] : inv.stock) sum += count;
+  return sum;
+}
+
+}  // namespace fixture

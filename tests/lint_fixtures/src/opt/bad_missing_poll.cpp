@@ -1,0 +1,15 @@
+// R3 fixture: a parallel_for chunk body that never polls cancellation.
+#include <cstddef>
+
+namespace fixture {
+
+template <class Body>
+void parallel_for(std::size_t n, int threads, Body body);
+
+void evaluate(long* out, std::size_t n) {
+  parallel_for(n, 4, [&](std::size_t i) {
+    out[i] = static_cast<long>(i) * 3;
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// R3 fixture: the same chunk body, with a cancellation point per chunk.
+#include <cstddef>
+
+namespace fixture {
+
+struct Token {
+  bool poll() const { return false; }
+};
+
+template <class Body>
+void parallel_for(std::size_t n, int threads, Body body);
+
+void evaluate(long* out, std::size_t n, const Token& cancel) {
+  parallel_for(n, 4, [&](std::size_t i) {
+    if (cancel.poll()) return;
+    out[i] = static_cast<long>(i) * 3;
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// R4 fixture: floating point in integer-scaled result code.
+namespace fixture {
+
+struct Result {
+  double utility = 0.0;
+};
+
+}  // namespace fixture

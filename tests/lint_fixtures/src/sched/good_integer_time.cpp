@@ -1,0 +1,10 @@
+// R4 fixture: integer-scaled result code (and a justified exception).
+namespace fixture {
+
+struct Result {
+  long long utility_scaled = 0;  ///< fixed-point, kFuzzScaleOne units
+  // lint: float-ok -- wall-clock metadata for reports, never a result
+  double seconds = 0.0;
+};
+
+}  // namespace fixture

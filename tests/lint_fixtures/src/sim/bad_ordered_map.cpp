@@ -1,0 +1,10 @@
+// R5 fixture: a node-based ordered container on the eval hot path.
+#include <map>
+
+namespace fixture {
+
+struct Cache {
+  std::map<int, long> by_key;
+};
+
+}  // namespace fixture

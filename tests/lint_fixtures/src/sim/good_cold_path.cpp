@@ -1,0 +1,11 @@
+// R5 fixture: the same container, proven off the hot path.
+#include <map>
+
+namespace fixture {
+
+struct Report {
+  // lint: cold-path -- built once per report, never per candidate move
+  std::map<int, long> by_key;
+};
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// R2 fixture: the allowlisted path src/util/stopwatch.h may read the clock.
+#pragma once
+
+#include <chrono>
+
+namespace fixture {
+
+inline long long now_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

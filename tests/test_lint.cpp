@@ -1,0 +1,353 @@
+// Tests of the ftes-lint static-analysis pass (src/lint) against the
+// fixture tree in tests/lint_fixtures: one known-bad and one known-good
+// snippet per rule R1-R5, plus unit tests of the lexer, baseline and
+// --fix-annotations machinery.
+#include "lint/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/baseline.h"
+#include "lint/lexer.h"
+#include "lint/rules.h"
+
+namespace ftes::lint {
+namespace {
+
+constexpr const char* kFixtureRoot = FTES_SOURCE_DIR "/tests/lint_fixtures";
+
+LintConfig fixture_config() {
+  LintConfig config;  // project defaults; the fixture tree mirrors src/ layout
+  return config;
+}
+
+std::string loc(const Diagnostic& d) {
+  return d.file + ":" + std::to_string(d.line) + ":" + d.rule;
+}
+
+// ---------------------------------------------------------------- lexer --
+
+TEST(LintLexer, StripsCommentsStringsAndPreprocessor) {
+  const LexedFile f = lex(
+      "#include <cstdlib>\n"
+      "// std::rand in a comment\n"
+      "const char* s = \"std::rand()\";\n"
+      "int x = 1; /* rand */ int y = 2;\n");
+  for (const Token& t : f.tokens) {
+    EXPECT_NE(t.text, "rand") << "line " << t.line;
+    EXPECT_NE(t.text, "include") << "line " << t.line;
+  }
+  // The string literal's contents are gone but the declaration survives.
+  auto has = [&](const std::string& text) {
+    return std::any_of(f.tokens.begin(), f.tokens.end(),
+                       [&](const Token& t) { return t.text == text; });
+  };
+  EXPECT_TRUE(has("s"));
+  EXPECT_TRUE(has("x"));
+  EXPECT_TRUE(has("y"));
+}
+
+TEST(LintLexer, RawStringsDoNotLeakTokens) {
+  const LexedFile f = lex(
+      "const char* r = R\"doc(std::rand() \" ignored)doc\";\n"
+      "int after = 3;\n");
+  for (const Token& t : f.tokens) EXPECT_NE(t.text, "rand");
+  ASSERT_FALSE(f.tokens.empty());
+  EXPECT_EQ(f.tokens.back().text, ";");
+  EXPECT_EQ(f.tokens.back().line, 2);
+}
+
+TEST(LintLexer, FusesScopeAndArrowOnly) {
+  const LexedFile f = lex("a::b->c < d > e;\n");
+  std::vector<std::string> puncts;
+  for (const Token& t : f.tokens)
+    if (t.kind == TokKind::Punct) puncts.push_back(t.text);
+  EXPECT_EQ(puncts, (std::vector<std::string>{"::", "->", "<", ">", ";"}));
+}
+
+TEST(LintLexer, TrailingAnnotationGovernsItsOwnLine) {
+  const LexedFile f =
+      lex("std::map<int, int> m;  // lint: cold-path -- report-only\n");
+  ASSERT_EQ(f.annotations.size(), 1u);
+  EXPECT_EQ(f.annotations[0].line, 1);
+  EXPECT_EQ(f.annotations[0].target_line, 1);
+  EXPECT_EQ(f.annotations[0].tags, (std::vector<std::string>{"cold-path"}));
+  EXPECT_TRUE(f.annotations[0].justified);
+  EXPECT_EQ(f.annotations[0].why, "report-only");
+}
+
+TEST(LintLexer, FullLineAnnotationGovernsNextCodeLine) {
+  const LexedFile f = lex(
+      "// lint: order-insensitive, float-ok -- sum is commutative\n"
+      "// an intervening plain comment is fine\n"
+      "for (auto& kv : m) total += kv.second;\n");
+  ASSERT_EQ(f.annotations.size(), 1u);
+  EXPECT_EQ(f.annotations[0].line, 1);
+  EXPECT_EQ(f.annotations[0].target_line, 3);
+  EXPECT_EQ(f.annotations[0].tags,
+            (std::vector<std::string>{"order-insensitive", "float-ok"}));
+}
+
+TEST(LintLexer, UnjustifiedAnnotationParsesButIsMarked) {
+  const LexedFile f = lex("double d = 0;  // lint: float-ok\n");
+  ASSERT_EQ(f.annotations.size(), 1u);
+  EXPECT_FALSE(f.annotations[0].justified);
+  EXPECT_TRUE(f.annotations[0].why.empty());
+}
+
+// --------------------------------------------------- fixture tree, R1-R5 --
+
+TEST(LintFixtures, BadFixturesProduceExactDiagnostics) {
+  const LintConfig config = fixture_config();
+  const std::vector<SourceFile> files = load_tree(kFixtureRoot, config);
+  ASSERT_EQ(files.size(), 10u) << "fixture tree changed shape";
+  const LintResult result = run_lint(files, config);
+
+  std::vector<std::string> got;
+  for (const Diagnostic& d : result.diagnostics) got.push_back(loc(d));
+  const std::vector<std::string> want = {
+      "src/core/bad_nondeterminism.cpp:8:nondeterminism",
+      "src/core/bad_nondeterminism.cpp:9:nondeterminism",
+      "src/core/bad_unordered_iter.cpp:12:unordered-iter",
+      "src/opt/bad_missing_poll.cpp:10:missing-cancel-poll",
+      "src/sched/bad_float.cpp:5:float-in-result-path",
+      "src/sim/bad_ordered_map.cpp:7:ordered-container-hot-path",
+  };
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(result.files_scanned, 10);
+}
+
+TEST(LintFixtures, GoodFixturesAreSuppressedByAnnotations) {
+  const LintConfig config = fixture_config();
+  const LintResult result = run_lint(load_tree(kFixtureRoot, config), config);
+  // good_order_insensitive (R1) + good_integer_time (R4) + good_cold_path
+  // (R5); good_polled passes by actually polling, stopwatch.h by allowlist.
+  EXPECT_EQ(result.suppressed, 3);
+  for (const Diagnostic& d : result.diagnostics)
+    EXPECT_EQ(d.file.find("good_"), std::string::npos) << loc(d);
+}
+
+TEST(LintFixtures, AllowlistIsExactPathNotPrefix) {
+  LintConfig config = fixture_config();
+  config.nondet_allowlist.clear();  // revoke stopwatch.h's clock license
+  const LintResult result = run_lint(load_tree(kFixtureRoot, config), config);
+  const bool flagged = std::any_of(
+      result.diagnostics.begin(), result.diagnostics.end(),
+      [](const Diagnostic& d) {
+        return d.file == "src/util/stopwatch.h" && d.rule == kRuleNondeterminism;
+      });
+  EXPECT_TRUE(flagged);
+}
+
+TEST(LintFixtures, DiagnosticFormatIsFileLineRuleMessage) {
+  const LintConfig config = fixture_config();
+  const LintResult result = run_lint(load_tree(kFixtureRoot, config), config);
+  ASSERT_FALSE(result.diagnostics.empty());
+  const Diagnostic& d = result.diagnostics.front();
+  const std::string line = format(d);
+  EXPECT_EQ(line.rfind(d.file + ":" + std::to_string(d.line) + ": " + d.rule +
+                           ": ",
+                       0),
+            0)
+      << line;
+  EXPECT_FALSE(d.message.empty());
+}
+
+// ------------------------------------------------------ inline rule cases --
+
+LintConfig inline_config() {
+  LintConfig config;
+  config.scan_roots = {"src"};
+  return config;
+}
+
+TEST(LintRules, RangeForOverUnorderedMemberDeclaredElsewhere) {
+  // The unordered member is declared in one file, iterated in another --
+  // the cross-file case that motivated the tree-wide index.
+  const std::vector<SourceFile> files = {
+      {"src/app/decl.h",
+       "#include <unordered_map>\n"
+       "struct P { std::unordered_map<int, long> wcet; };\n"},
+      {"src/opt/use.cpp",
+       "#include \"decl.h\"\n"
+       "long f(const P& p) {\n"
+       "  long s = 0;\n"
+       "  for (const auto& kv : p.wcet) s += kv.second;\n"
+       "  return s;\n"
+       "}\n"},
+  };
+  const LintResult result = run_lint(files, inline_config());
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(loc(result.diagnostics[0]), "src/opt/use.cpp:4:unordered-iter");
+}
+
+TEST(LintRules, ExplicitBeginWalkIsAlsoFlagged) {
+  const std::vector<SourceFile> files = {
+      {"src/core/walk.cpp",
+       "#include <unordered_set>\n"
+       "std::unordered_set<int> seen;\n"
+       "int first() { return *seen.begin(); }\n"},
+  };
+  const LintResult result = run_lint(files, inline_config());
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(loc(result.diagnostics[0]), "src/core/walk.cpp:3:unordered-iter");
+}
+
+TEST(LintRules, UnknownTagIsAlwaysAnError) {
+  const std::vector<SourceFile> files = {
+      {"src/core/odd.cpp", "int x = 1;  // lint: no-such-tag -- whatever\n"},
+  };
+  const LintResult result = run_lint(files, inline_config());
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].rule, kRuleUnknownAnnotation);
+}
+
+TEST(LintRules, RequireJustificationsFlagsBareAndTodoSuppressions) {
+  LintConfig config = inline_config();
+  config.require_justifications = true;
+  const std::vector<SourceFile> files = {
+      {"src/sim/a.cpp",
+       "#include <map>\n"
+       "// lint: cold-path\n"
+       "std::map<int, int> bare;\n"},
+      {"src/sim/b.cpp",
+       "#include <map>\n"
+       "// lint: cold-path -- TODO(lint): justify this suppression\n"
+       "std::map<int, int> todo;\n"},
+      {"src/sim/c.cpp",
+       "#include <map>\n"
+       "// lint: cold-path -- built once at shutdown\n"
+       "std::map<int, int> justified;\n"},
+  };
+  const LintResult result = run_lint(files, config);
+  std::vector<std::string> got;
+  for (const Diagnostic& d : result.diagnostics) got.push_back(loc(d));
+  // a.cpp and b.cpp each: the suppression works (no hot-path diag) but the
+  // annotation itself is flagged; c.cpp is fully clean.
+  const std::vector<std::string> want = {
+      "src/sim/a.cpp:2:annotation-needs-justification",
+      "src/sim/b.cpp:2:annotation-needs-justification",
+  };
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(result.suppressed, 3);
+}
+
+TEST(LintRules, AnnotationOnWrongLineDoesNotSuppress) {
+  const std::vector<SourceFile> files = {
+      {"src/sim/far.cpp",
+       "#include <map>\n"
+       "// lint: cold-path -- too far away\n"
+       "int unrelated = 0;\n"
+       "std::map<int, int> m;\n"},
+  };
+  const LintResult result = run_lint(files, inline_config());
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(loc(result.diagnostics[0]),
+            "src/sim/far.cpp:4:ordered-container-hot-path");
+  EXPECT_EQ(result.suppressed, 0);
+}
+
+// ---------------------------------------------------------------- baseline --
+
+TEST(LintBaseline, RoundTripSwallowsExactlyTheRenderedFindings) {
+  const LintConfig config = fixture_config();
+  const LintResult result = run_lint(load_tree(kFixtureRoot, config), config);
+  ASSERT_EQ(result.diagnostics.size(), 6u);
+
+  const std::string rendered = render_baseline(result.diagnostics);
+  const BaselineSplit split =
+      apply_baseline(result.diagnostics, parse_baseline(rendered));
+  EXPECT_TRUE(split.fresh.empty());
+  EXPECT_EQ(split.grandfathered, 6);
+
+  // Rendering is byte-stable: same findings, same bytes.
+  EXPECT_EQ(rendered, render_baseline(result.diagnostics));
+}
+
+TEST(LintBaseline, KeysAreAnchoredToSourceTextNotLineNumbers) {
+  const LintConfig config = fixture_config();
+  const LintResult before = run_lint(load_tree(kFixtureRoot, config), config);
+  const std::set<std::string> baseline =
+      parse_baseline(render_baseline(before.diagnostics));
+
+  // Simulate edits that shift every finding down two lines; the anchors --
+  // and therefore the baseline keys -- are unchanged.
+  std::vector<SourceFile> shifted = load_tree(kFixtureRoot, config);
+  for (SourceFile& f : shifted) f.content = "\n\n" + f.content;
+  const LintResult after = run_lint(shifted, config);
+  ASSERT_EQ(after.diagnostics.size(), before.diagnostics.size());
+  EXPECT_NE(after.diagnostics[0].line, before.diagnostics[0].line);
+
+  const BaselineSplit split = apply_baseline(after.diagnostics, baseline);
+  EXPECT_TRUE(split.fresh.empty());
+  EXPECT_EQ(split.grandfathered, 6);
+}
+
+TEST(LintBaseline, CommentsAndBlanksInBaselineAreIgnored) {
+  const std::set<std::string> keys =
+      parse_baseline("# header\n\nsrc/a.cpp|r|int x;\n# trailer\n");
+  EXPECT_EQ(keys, (std::set<std::string>{"src/a.cpp|r|int x;"}));
+}
+
+// ---------------------------------------------------------- fix-annotations --
+
+TEST(LintFix, InsertsSuppressionsThatSilenceSuppressibleFindings) {
+  LintConfig config = fixture_config();
+  std::vector<SourceFile> files = load_tree(kFixtureRoot, config);
+  const LintResult before = run_lint(files, config);
+  ASSERT_EQ(before.diagnostics.size(), 6u);
+
+  const int inserted = fix_annotations(&files, before.diagnostics);
+  // Four of the six findings are suppressible; the two nondeterminism
+  // findings need a code fix and must NOT get a comment.
+  EXPECT_EQ(inserted, 4);
+
+  const LintResult after = run_lint(files, config);
+  for (const Diagnostic& d : after.diagnostics)
+    EXPECT_EQ(d.rule, kRuleNondeterminism) << loc(d);
+  EXPECT_EQ(after.diagnostics.size(), 2u);
+
+  // But the mechanical TODO justification does not survive the strict
+  // lint_tree gate: a human still has to write the real why.
+  config.require_justifications = true;
+  const LintResult strict = run_lint(files, config);
+  int todo_flags = 0;
+  for (const Diagnostic& d : strict.diagnostics)
+    if (d.rule == kRuleNeedsJustification) ++todo_flags;
+  EXPECT_EQ(todo_flags, 4);
+}
+
+TEST(LintFix, InsertedCommentMatchesIndentation) {
+  std::vector<SourceFile> files = {
+      {"src/sim/indent.cpp",
+       "#include <map>\n"
+       "struct S {\n"
+       "    std::map<int, int> deep;\n"
+       "};\n"},
+  };
+  const LintResult before = run_lint(files, inline_config());
+  ASSERT_EQ(before.diagnostics.size(), 1u);
+  ASSERT_EQ(fix_annotations(&files, before.diagnostics), 1);
+  EXPECT_NE(files[0].content.find("    // lint: cold-path -- TODO"),
+            std::string::npos)
+      << files[0].content;
+}
+
+// ------------------------------------------------------------------ rules --
+
+TEST(LintRules, EveryRuleHasATableRowAndConsistentTag) {
+  const std::vector<RuleInfo> table = rule_table();
+  EXPECT_GE(table.size(), 5u);
+  for (const RuleInfo& info : table) {
+    EXPECT_FALSE(info.summary.empty()) << info.id;
+    EXPECT_EQ(info.tag, suppression_tag(info.id)) << info.id;
+  }
+  EXPECT_EQ(suppression_tag(kRuleNondeterminism), "");  // allowlist-only
+  EXPECT_EQ(suppression_tag(kRuleUnorderedIter), kTagOrderInsensitive);
+}
+
+}  // namespace
+}  // namespace ftes::lint

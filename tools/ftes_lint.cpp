@@ -1,0 +1,182 @@
+// ftes_lint -- the project-invariant static-analysis pass.
+//
+// Proves, at the source level, the properties every dynamic check in this
+// repo only samples: bit-identical results for any --threads count (R1/R2),
+// bounded cooperative-cancellation latency (R3), float-free integer-scaled
+// evaluation (R4), and the flattened hot paths PRs 2-3 bought (R5).  See
+// docs/INVARIANTS.md for the catalogue and src/lint/ for the engine.
+//
+// Usage:
+//   ftes_lint [--root DIR] [--baseline FILE] [--write-baseline FILE]
+//             [--fix-annotations] [--require-justifications] [--list-rules]
+//
+//   --root DIR          tree to scan (default "."); src/, tools/, bench/
+//                       under it are linted
+//   --baseline FILE     swallow findings listed in FILE; fail only on new
+//                       ones
+//   --write-baseline F  write the current findings as a baseline to F and
+//                       exit 0 (CI diffs this against the committed file)
+//   --fix-annotations   insert `// lint: <tag> -- TODO(lint): ...`
+//                       suppression comments above each suppressible
+//                       finding, rewriting files in place
+//   --require-justifications
+//                       also fail on suppression annotations lacking a
+//                       `-- why` part (the lint_tree ctest target sets this)
+//   --list-rules        print the rule table and exit
+//
+// Exit status: 0 clean, 1 findings (or annotation hygiene failures),
+// 2 usage/environment error.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/baseline.h"
+#include "lint/engine.h"
+#include "lint/rules.h"
+
+namespace {
+
+[[nodiscard]] bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+[[nodiscard]] bool write_file(const std::string& path,
+                              const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return bool(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string baseline_path;
+  std::string write_baseline_path;
+  bool fix = false;
+  bool list_rules = false;
+  ftes::lint::LintConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "ftes_lint: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = value("--root");
+    } else if (arg == "--baseline") {
+      baseline_path = value("--baseline");
+    } else if (arg == "--write-baseline") {
+      write_baseline_path = value("--write-baseline");
+    } else if (arg == "--fix-annotations") {
+      fix = true;
+    } else if (arg == "--require-justifications") {
+      config.require_justifications = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: ftes_lint [--root DIR] [--baseline FILE] "
+                   "[--write-baseline FILE] [--fix-annotations] "
+                   "[--require-justifications] [--list-rules]\n";
+      return 0;
+    } else {
+      std::cerr << "ftes_lint: unknown argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+
+  if (list_rules) {
+    for (const ftes::lint::RuleInfo& r : ftes::lint::rule_table()) {
+      std::printf("%-28s %-18s %s\n", r.id.c_str(),
+                  r.tag.empty() ? "-" : r.tag.c_str(), r.summary.c_str());
+    }
+    return 0;
+  }
+
+  std::vector<ftes::lint::SourceFile> files =
+      ftes::lint::load_tree(root, config);
+  if (files.empty()) {
+    std::cerr << "ftes_lint: nothing to scan under '" << root
+              << "' (expected src/, tools/ or bench/)\n";
+    return 2;
+  }
+
+  ftes::lint::LintResult result = ftes::lint::run_lint(files, config);
+
+  std::set<std::string> baseline;
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!read_file(baseline_path, &text)) {
+      std::cerr << "ftes_lint: cannot read baseline '" << baseline_path
+                << "'\n";
+      return 2;
+    }
+    baseline = ftes::lint::parse_baseline(text);
+  }
+  ftes::lint::BaselineSplit split =
+      ftes::lint::apply_baseline(result.diagnostics, baseline);
+
+  if (!write_baseline_path.empty()) {
+    const std::string rendered =
+        ftes::lint::render_baseline(result.diagnostics);
+    if (!write_file(write_baseline_path, rendered)) {
+      std::cerr << "ftes_lint: cannot write '" << write_baseline_path
+                << "'\n";
+      return 2;
+    }
+    std::cout << "ftes_lint: wrote " << result.diagnostics.size()
+              << " finding(s) to " << write_baseline_path << "\n";
+    return 0;
+  }
+
+  if (fix) {
+    const int inserted =
+        ftes::lint::fix_annotations(&files, split.fresh);
+    int rewritten = 0;
+    for (const ftes::lint::SourceFile& f : files) {
+      // Only files that gained an annotation changed; rewriting the rest
+      // would churn mtimes for the whole tree.
+      bool touched = false;
+      for (const ftes::lint::Diagnostic& d : split.fresh) {
+        if (d.file == f.path &&
+            !ftes::lint::suppression_tag(d.rule).empty()) {
+          touched = true;
+          break;
+        }
+      }
+      if (!touched) continue;
+      if (!write_file(root + "/" + f.path, f.content)) {
+        std::cerr << "ftes_lint: cannot rewrite '" << f.path << "'\n";
+        return 2;
+      }
+      ++rewritten;
+    }
+    std::cout << "ftes_lint: inserted " << inserted
+              << " suppression comment(s) across " << rewritten
+              << " file(s); fill in every TODO(lint) justification\n";
+    return 0;
+  }
+
+  for (const ftes::lint::Diagnostic& d : split.fresh) {
+    std::cout << ftes::lint::format(d) << "\n";
+  }
+  std::cout << "ftes_lint: " << result.files_scanned << " file(s), "
+            << split.fresh.size() << " new finding(s), "
+            << split.grandfathered << " baselined, " << result.suppressed
+            << " suppressed by annotation\n";
+  return split.fresh.empty() ? 0 : 1;
+}
