@@ -62,6 +62,12 @@ BatchTaskResult run_one(const BatchTask& task, const BatchOptions& options,
   } catch (const std::exception& e) {
     r.ok = false;
     r.error = e.what();
+  } catch (...) {
+    // The task boundary must be exhaustive: a non-standard exception from
+    // one malformed problem would otherwise propagate through
+    // parallel_for's rethrow and kill the whole sweep.
+    r.ok = false;
+    r.error = "unknown non-standard exception";
   }
   r.seconds = watch.seconds();
   return r;

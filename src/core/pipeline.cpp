@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "util/fault_injection.h"
 #include "util/json_io.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -68,6 +69,9 @@ std::string StageMetrics::to_json() const {
       << ", \"fuzz_failing_trials\": " << fuzz_failing_trials
       << ", \"fuzz_violations\": " << fuzz_violations
       << ", \"fuzz_worst_completion\": " << fuzz_worst_completion
+      << ", \"result_cache_hits\": " << result_cache_hits
+      << ", \"result_cache_misses\": " << result_cache_misses
+      << ", \"result_cache_evictions\": " << result_cache_evictions
       << ", \"seconds\": ";
   json_seconds(out, seconds);
   out << "}";
@@ -356,6 +360,7 @@ SynthesisResult Pipeline::run(SynthesisContext& ctx) {
       cancel.arm_stage_budget_ms(options.stage_budget_ms);
     }
     const Stopwatch watch;
+    FTES_FAULT_POINT("pipeline.stage");
     stage.run(ctx, state, metrics);
     metrics.seconds = watch.seconds();
     cancel.clear_stage_deadline();

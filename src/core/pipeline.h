@@ -89,6 +89,13 @@ struct StageMetrics {
   long long fuzz_failing_trials = 0;
   long long fuzz_violations = 0;
   Time fuzz_worst_completion = 0;
+  /// Structural result cache (serve/result_cache.h): repeat submissions
+  /// served without recomputation, and entries evicted to honour the byte
+  /// budget.  All zero outside `ftes_cli --serve` (the "result_cache"
+  /// pseudo-stage of the server's stats report).
+  long long result_cache_hits = 0;
+  long long result_cache_misses = 0;
+  long long result_cache_evictions = 0;
 
   [[nodiscard]] std::string to_json() const;
 };

@@ -5,9 +5,20 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/fault_injection.h"
+
 namespace ftes {
 
 namespace {
+
+// Input caps: the parser fronts untrusted job streams (ftes_cli --serve),
+// so structurally valid but absurd values must fail here with a line
+// diagnostic instead of turning into multi-gigabyte allocations
+// (nodes=1e9), divisions by zero (payload=0), or downstream Time
+// overflow (k+1 re-executions of a near-kTimeInfinity WCET).
+constexpr int kMaxNodes = 1024;
+constexpr int kMaxFaults = 64;
+constexpr Time kMaxMagnitude = 1'000'000'000'000'000;  // 1e15 ticks
 
 struct ParserState {
   int line = 0;
@@ -43,14 +54,26 @@ bool split_kv(const std::string& tok, std::string& key, std::string& value) {
 }
 
 Time parse_time(const ParserState& st, const std::string& s) {
+  Time v = 0;
   try {
     std::size_t pos = 0;
-    const long long v = std::stoll(s, &pos);
+    const long long parsed = std::stoll(s, &pos);
     if (pos != s.size()) throw std::invalid_argument(s);
-    return static_cast<Time>(v);
+    v = static_cast<Time>(parsed);
   } catch (const std::exception&) {
     st.error("expected an integer, got '" + s + "'");
   }
+  if (v > kMaxMagnitude || v < -kMaxMagnitude) {
+    st.error("value '" + s + "' exceeds the supported magnitude (1e15)");
+  }
+  return v;
+}
+
+Time parse_nonneg(const ParserState& st, const std::string& s,
+                  const std::string& what) {
+  const Time v = parse_time(st, s);
+  if (v < 0) st.error(what + " must be non-negative, got '" + s + "'");
+  return v;
 }
 
 NodeId parse_node(const ParserState& st, const std::string& s) {
@@ -79,7 +102,7 @@ void parse_process(ParserState& st, const std::vector<std::string>& tokens,
   // WCET pairs until the first non-node key.
   for (; i < tokens.size(); ++i) {
     if (!split_kv(tokens[i], key, value) || key.empty() || key[0] != 'N') break;
-    p.wcet[parse_node(st, key)] = parse_time(st, value);
+    p.wcet[parse_node(st, key)] = parse_nonneg(st, value, "wcet");
   }
   if (p.wcet.empty()) st.error("process '" + p.name + "' has no WCET entries");
   for (; i < tokens.size(); ++i) {
@@ -91,17 +114,17 @@ void parse_process(ParserState& st, const std::vector<std::string>& tokens,
       st.error("unexpected token '" + tokens[i] + "'");
     }
     if (key == "alpha") {
-      p.alpha = parse_time(st, value);
+      p.alpha = parse_nonneg(st, value, "alpha");
     } else if (key == "mu") {
-      p.mu = parse_time(st, value);
+      p.mu = parse_nonneg(st, value, "mu");
     } else if (key == "chi") {
-      p.chi = parse_time(st, value);
+      p.chi = parse_nonneg(st, value, "chi");
     } else if (key == "map") {
       p.fixed_mapping = parse_node(st, value);
     } else if (key == "deadline") {
-      p.local_deadline = parse_time(st, value);
+      p.local_deadline = parse_nonneg(st, value, "deadline");
     } else if (key == "release") {
-      p.release = parse_time(st, value);
+      p.release = parse_nonneg(st, value, "release");
     } else if (key == "policy") {
       if (value == "checkpointing") {
         p.fixed_policy = PolicyKind::kCheckpointing;
@@ -150,7 +173,7 @@ void parse_message(ParserState& st, const std::vector<std::string>& tokens,
     if (tokens[i] == "frozen") {
       m.frozen = true;
     } else if (split_kv(tokens[i], key, value) && key == "size") {
-      m.size = parse_time(st, value);
+      m.size = parse_nonneg(st, value, "size");
     } else {
       st.error("unknown message attribute '" + tokens[i] + "'");
     }
@@ -161,6 +184,7 @@ void parse_message(ParserState& st, const std::vector<std::string>& tokens,
 }  // namespace
 
 ParsedProblem parse_problem(std::istream& in) {
+  FTES_FAULT_POINT("parse");
   ParsedProblem problem;
   ParserState st;
   std::string line;
@@ -187,12 +211,22 @@ ParsedProblem parse_problem(std::istream& in) {
       if (st.node_count < 1 || st.slot < 1) {
         st.error("arch needs nodes>=1 and slot>=1");
       }
+      if (st.node_count > kMaxNodes) {
+        st.error("nodes=" + std::to_string(st.node_count) +
+                 " exceeds the supported maximum (" +
+                 std::to_string(kMaxNodes) + ")");
+      }
+      if (st.payload < 1) st.error("arch needs payload>=1");
       problem.arch = Architecture::homogeneous(st.node_count, st.slot);
       problem.arch.bus().set_slot_payload(st.payload);
       st.have_arch = true;
     } else if (head == "k") {
       if (tokens.size() != 2) st.error("expected: k <faults>");
       problem.model.k = static_cast<int>(parse_time(st, tokens[1]));
+      if (problem.model.k > kMaxFaults) {
+        st.error("k=" + tokens[1] + " exceeds the supported maximum (" +
+                 std::to_string(kMaxFaults) + ")");
+      }
     } else if (head == "deadline") {
       if (tokens.size() != 2) st.error("expected: deadline <ticks>");
       problem.app.set_deadline(parse_time(st, tokens[1]));

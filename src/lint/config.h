@@ -28,8 +28,11 @@ struct LintConfig {
   };
 
   /// R3 (missing-cancel-poll): parallel_for chunk bodies here must poll.
+  /// src/serve/ is in scope since PR 8: the job server runs every job on
+  /// the shared pool under a per-job budget.
   std::vector<std::string> cancel_scopes = {"src/opt/", "src/sched/",
-                                            "src/sim/", "src/batch/"};
+                                            "src/sim/", "src/batch/",
+                                            "src/serve/"};
 
   /// R4 (float-in-result-path): result code here is integer-scaled.
   std::vector<std::string> integer_result_scopes = {"src/sched/", "src/sim/",
@@ -40,6 +43,11 @@ struct LintConfig {
   /// evaluation path.
   std::vector<std::string> hot_path_scopes = {"src/opt/", "src/sched/",
                                               "src/sim/"};
+
+  /// R6 (missing-catch-all): job-boundary code here promises per-job
+  /// isolation, so every try's catch chain must end in `catch (...)`
+  /// (an injected non-standard exception must not kill the server).
+  std::vector<std::string> catch_scopes = {"src/serve/"};
 
   /// When set, every suppression annotation must carry a "-- why" part
   /// (enforced by the lint_tree ctest target).

@@ -294,13 +294,58 @@ void rule_ordered_hot_path(const std::string& path, const LexedFile& file,
   }
 }
 
+// --- R6: job-boundary catch chains must end in catch (...) ------------------
+
+void rule_missing_catch_all(const std::string& path, const LexedFile& file,
+                            std::vector<Diagnostic>* out) {
+  const Tokens& toks = file.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "try") || !is_punct(toks[i + 1], "{")) continue;
+    std::size_t body_close = match_forward(toks, i + 1, "{", "}");
+    if (body_close == toks.size()) continue;
+    // Walk the catch chain.  The lexer emits "..." as three "." puncts, so
+    // an exhaustive handler is any catch whose parens contain a "." punct.
+    bool has_catch_all = false;
+    bool any_catch = false;
+    int last_catch_line = toks[i].line;
+    std::size_t k = body_close + 1;
+    while (k + 1 < toks.size() && is_ident(toks[k], "catch") &&
+           is_punct(toks[k + 1], "(")) {
+      any_catch = true;
+      last_catch_line = toks[k].line;
+      const std::size_t params_close = match_forward(toks, k + 1, "(", ")");
+      if (params_close == toks.size()) break;
+      for (std::size_t p = k + 2; p < params_close; ++p) {
+        if (is_punct(toks[p], ".")) has_catch_all = true;
+      }
+      if (params_close + 1 >= toks.size() ||
+          !is_punct(toks[params_close + 1], "{")) {
+        break;
+      }
+      const std::size_t handler_close =
+          match_forward(toks, params_close + 1, "{", "}");
+      if (handler_close == toks.size()) break;
+      k = handler_close + 1;
+    }
+    if (any_catch && !has_catch_all) {
+      emit(path, file, last_catch_line, kRuleMissingCatchAll,
+           "catch chain without a final `catch (...)` in job-boundary code: "
+           "a non-standard exception would escape the job and kill the "
+           "server; add `catch (...)` or annotate with "
+           "`// lint: catch-ok -- <why>`",
+           out);
+    }
+  }
+}
+
 // --- annotation hygiene ------------------------------------------------------
 
 void rule_annotations(const std::string& path, const LexedFile& file,
                       const LintConfig& config,
                       std::vector<Diagnostic>* out) {
   static const std::set<std::string> kKnown = {
-      kTagOrderInsensitive, kTagCancelOk, kTagFloatOk, kTagColdPath};
+      kTagOrderInsensitive, kTagCancelOk, kTagFloatOk, kTagColdPath,
+      kTagCatchOk};
   for (const Annotation& ann : file.annotations) {
     bool any_known = false;
     for (const std::string& tag : ann.tags) {
@@ -309,8 +354,8 @@ void rule_annotations(const std::string& path, const LexedFile& file,
       } else {
         emit(path, file, ann.line, kRuleUnknownAnnotation,
              "unknown lint tag '" + tag + "' (known: order-insensitive, "
-                 "cancel-ok, float-ok, cold-path); a typo here silently "
-                 "disables nothing and suppresses nothing",
+                 "cancel-ok, float-ok, cold-path, catch-ok); a typo here "
+                 "silently disables nothing and suppresses nothing",
              out);
       }
     }
@@ -336,6 +381,7 @@ std::string suppression_tag(const std::string& rule) {
   if (rule == kRuleMissingCancelPoll) return kTagCancelOk;
   if (rule == kRuleFloatInResultPath) return kTagFloatOk;
   if (rule == kRuleOrderedHotPath) return kTagColdPath;
+  if (rule == kRuleMissingCatchAll) return kTagCatchOk;
   return {};
 }
 
@@ -356,6 +402,9 @@ std::vector<RuleInfo> rule_table() {
       {kRuleOrderedHotPath, kTagColdPath,
        "no std::map/std::set reintroduced into opt/sched/sim without a "
        "cold-path proof"},
+      {kRuleMissingCatchAll, kTagCatchOk,
+       "every catch chain in serve/ job-boundary code ends in catch (...) "
+       "(per-job isolation)"},
       {kRuleUnknownAnnotation, "", "every `// lint:` tag must be a known tag"},
       {kRuleNeedsJustification, "",
        "with --require-justifications, every suppression carries a -- why"},
@@ -414,6 +463,9 @@ void run_rules(const std::string& path, const LexedFile& file,
   }
   if (in_scope(path, config.hot_path_scopes)) {
     rule_ordered_hot_path(path, file, out);
+  }
+  if (in_scope(path, config.catch_scopes)) {
+    rule_missing_catch_all(path, file, out);
   }
   rule_annotations(path, file, config, out);
 }

@@ -1,4 +1,4 @@
-// The five project-invariant rules enforced by ftes-lint, plus the two
+// The six project-invariant rules enforced by ftes-lint, plus the two
 // annotation hygiene checks.  Each rule is a pure function over one lexed
 // file (R1 additionally consumes the tree-wide unordered-name index) that
 // appends diagnostics; suppression and baselines are applied by the engine.
@@ -9,6 +9,7 @@
 //   missing-cancel-poll       (R3) cancel-ok            bounded cancel latency
 //   float-in-result-path      (R4) float-ok             integer-scaled eval
 //   ordered-container-hot-path(R5) cold-path            flattened hot paths
+//   missing-catch-all         (R6) catch-ok             per-job isolation
 //
 // See docs/INVARIANTS.md for the full catalogue (which PR established each
 // invariant and what breaking it looks like).
@@ -30,6 +31,7 @@ inline constexpr char kRuleNondeterminism[] = "nondeterminism";
 inline constexpr char kRuleMissingCancelPoll[] = "missing-cancel-poll";
 inline constexpr char kRuleFloatInResultPath[] = "float-in-result-path";
 inline constexpr char kRuleOrderedHotPath[] = "ordered-container-hot-path";
+inline constexpr char kRuleMissingCatchAll[] = "missing-catch-all";
 inline constexpr char kRuleUnknownAnnotation[] = "unknown-annotation";
 inline constexpr char kRuleNeedsJustification[] = "annotation-needs-justification";
 
@@ -39,6 +41,7 @@ inline constexpr char kTagOrderInsensitive[] = "order-insensitive";
 inline constexpr char kTagCancelOk[] = "cancel-ok";
 inline constexpr char kTagFloatOk[] = "float-ok";
 inline constexpr char kTagColdPath[] = "cold-path";
+inline constexpr char kTagCatchOk[] = "catch-ok";
 
 /// Maps a rule id to its suppression tag; empty when not suppressible.
 [[nodiscard]] std::string suppression_tag(const std::string& rule);

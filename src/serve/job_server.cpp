@@ -1,0 +1,466 @@
+#include "serve/job_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <new>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/cancellation.h"
+#include "util/fault_injection.h"
+#include "util/json_io.h"
+#include "util/stopwatch.h"
+
+namespace ftes::serve {
+
+struct JobServer::Request {
+  std::string id;
+  std::string file;  ///< problem path; exactly one of file/text is set
+  std::string text;  ///< inline problem (escaped newlines unpacked)
+  bool has_text = false;
+  std::uint64_t seed = 0;
+  bool has_seed = false;
+  int iterations = 0;
+  bool has_iterations = false;
+  bool tables = true;
+  long long stage_budget_ms = -1;
+  long long total_budget_ms = -1;
+};
+
+struct JobServer::Outcome {
+  enum Class {
+    kOk,
+    kParseError,
+    kTimedOut,
+    kCancelled,
+    kResourceExhausted,
+    kInternal,
+  };
+  Class cls = kInternal;
+  bool cached = false;
+  std::string error;
+  std::string payload;    ///< result JSON; may be empty (pure error)
+  std::string cache_key;  ///< set once parse + setup succeeded
+};
+
+namespace {
+
+const char* status_name(JobServer::Outcome::Class cls);
+
+/// Unescapes the `text=` value: \n, \t and \\ (a problem file is inlined
+/// into one request line).  Returns false on a dangling backslash.
+bool unescape_text(const std::string& in, std::string& out,
+                   std::string& error) {
+  out.clear();
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] != '\\') {
+      out.push_back(in[i]);
+      continue;
+    }
+    if (i + 1 >= in.size()) {
+      error = "text= ends in a dangling backslash";
+      return false;
+    }
+    const char c = in[++i];
+    if (c == 'n') {
+      out.push_back('\n');
+    } else if (c == 't') {
+      out.push_back('\t');
+    } else if (c == '\\') {
+      out.push_back('\\');
+    } else {
+      error = std::string("text= has an unknown escape '\\") + c + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool parse_ll(const std::string& value, long long& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stoll(value, &pos);
+    return pos == value.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_u64(const std::string& value, std::uint64_t& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stoull(value, &pos);
+    return pos == value.size() && value[0] != '-';
+  } catch (...) {
+    return false;
+  }
+}
+
+/// The job's result payload: every field is a deterministic function of
+/// the problem + options (wall-clock metrics are zeroed), so a cached
+/// payload is bit-identical to a fresh one for any thread count.
+std::string result_payload(Time deadline, const SynthesisResult& result,
+                           std::vector<StageMetrics> stages) {
+  for (StageMetrics& m : stages) {
+    m.seconds = 0.0;
+    m.spec_seconds = 0.0;
+    m.cancel_latency_seconds = 0.0;
+  }
+  std::ostringstream out;
+  out << "{\"schedulable\": " << (result.schedulable ? "true" : "false")
+      << ", \"timed_out\": " << (result.timed_out ? "true" : "false")
+      << ", \"cancelled\": " << (result.cancelled ? "true" : "false")
+      << ", \"wcsl\": " << result.wcsl.makespan
+      << ", \"deadline\": " << deadline
+      << ", \"evaluations\": " << result.evaluations
+      << ", \"tables\": " << (result.schedule ? "true" : "false")
+      << ", \"stages\": " << metrics_to_json(stages) << "}";
+  return out.str();
+}
+
+const char* status_name(JobServer::Outcome::Class cls) {
+  switch (cls) {
+    case JobServer::Outcome::kOk: return "ok";
+    case JobServer::Outcome::kParseError: return "parse_error";
+    case JobServer::Outcome::kTimedOut: return "timed_out";
+    case JobServer::Outcome::kCancelled: return "cancelled";
+    case JobServer::Outcome::kResourceExhausted: return "resource_exhausted";
+    case JobServer::Outcome::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+}  // namespace
+
+JobServer::JobServer(ServerOptions options)
+    : options_(options), cache_(options.cache_bytes) {}
+
+bool JobServer::parse_request(const std::string& line, Request& req,
+                              std::string& error) {
+  std::istringstream in(line);
+  std::string tok;
+  in >> tok;
+  if (tok != "job") {
+    error = "unknown command '" + tok + "' (expected job, stats or quit)";
+    return false;
+  }
+  while (in >> tok) {
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos) {
+      error = "expected key=value, got '" + tok + "'";
+      return false;
+    }
+    const std::string key = tok.substr(0, eq);
+    std::string value = tok.substr(eq + 1);
+    if (key == "text") {
+      // text= swallows the rest of the line (the value may contain
+      // spaces; newlines travel as \n escapes).
+      std::string rest;
+      std::getline(in, rest);
+      value += rest;
+      if (!unescape_text(value, req.text, error)) return false;
+      req.has_text = true;
+      continue;
+    }
+    if (key == "id") {
+      req.id = value;
+    } else if (key == "file") {
+      req.file = value;
+    } else if (key == "seed") {
+      if (!parse_u64(value, req.seed)) {
+        error = "seed= expects an unsigned integer, got '" + value + "'";
+        return false;
+      }
+      req.has_seed = true;
+    } else if (key == "iterations") {
+      long long it = 0;
+      if (!parse_ll(value, it) || it < 1 || it > 1'000'000) {
+        error = "iterations= expects 1..1000000, got '" + value + "'";
+        return false;
+      }
+      req.iterations = static_cast<int>(it);
+      req.has_iterations = true;
+    } else if (key == "tables") {
+      if (value == "0") {
+        req.tables = false;
+      } else if (value == "1") {
+        req.tables = true;
+      } else {
+        error = "tables= expects 0 or 1, got '" + value + "'";
+        return false;
+      }
+    } else if (key == "stage-budget-ms") {
+      if (!parse_ll(value, req.stage_budget_ms) || req.stage_budget_ms < -1) {
+        error = "stage-budget-ms= expects an integer >= -1, got '" + value +
+                "'";
+        return false;
+      }
+    } else if (key == "total-budget-ms") {
+      if (!parse_ll(value, req.total_budget_ms) || req.total_budget_ms < -1) {
+        error = "total-budget-ms= expects an integer >= -1, got '" + value +
+                "'";
+        return false;
+      }
+    } else {
+      error = "unknown request key '" + key + "'";
+      return false;
+    }
+  }
+  if (req.file.empty() == !req.has_text) {
+    error = "exactly one of file= or text= is required";
+    return false;
+  }
+  return true;
+}
+
+JobServer::Outcome JobServer::run_attempt(const Request& req, bool degraded) {
+  Outcome out;
+  enum Phase { kSetup, kRun } phase = kSetup;
+  try {
+    FTES_FAULT_POINT("serve.job");
+    std::string text;
+    if (!req.file.empty()) {
+      std::ifstream in(req.file);
+      if (!in) {
+        out.cls = Outcome::kParseError;
+        out.error = "cannot read '" + req.file + "'";
+        return out;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      text = buf.str();
+    } else {
+      text = req.text;
+    }
+    ParsedProblem problem = parse_problem_string(text);
+    SynthesisOptions synth;
+    synth.fault_model = problem.model;
+    synth.optimize.seed = req.has_seed ? req.seed : options_.default_seed;
+    synth.optimize.iterations =
+        req.has_iterations ? req.iterations : options_.default_iterations;
+    synth.optimize.threads = options_.threads;
+    synth.build_schedule_tables = req.tables && !degraded;
+    synth.stage_budget_ms = req.stage_budget_ms;
+    synth.total_budget_ms = req.total_budget_ms;
+    out.cache_key =
+        canonical_key(problem.app, problem.arch, problem.model, synth);
+    if (!degraded && options_.cache_bytes > 0) {
+      std::string cached;
+      if (cache_.lookup(out.cache_key, cached)) {
+        out.cls = Outcome::kOk;
+        out.cached = true;
+        out.payload = std::move(cached);
+        return out;
+      }
+    }
+    // The context owns copies of the problem; construction validates the
+    // model (invalid_argument classifies as parse_error via kSetup).
+    auto ctx = std::make_unique<SynthesisContext>(problem.app, problem.arch,
+                                                  synth);
+    phase = kRun;
+    Pipeline pipeline = Pipeline::default_pipeline();
+    const SynthesisResult result = pipeline.run(*ctx);
+    if (result.cancelled) {
+      out.cls = result.timed_out ? Outcome::kTimedOut : Outcome::kCancelled;
+      out.error = result.timed_out ? "wall-clock budget exhausted"
+                                   : "cancelled";
+      if (result.wcsl.makespan > 0) {
+        // Partial but well-formed: surface what the budget bought.
+        out.payload = result_payload(problem.app.deadline(), result,
+                                     pipeline.metrics());
+      }
+      return out;
+    }
+    out.cls = Outcome::kOk;
+    out.payload =
+        result_payload(problem.app.deadline(), result, pipeline.metrics());
+  } catch (const fi::InjectedFault& e) {
+    out.cls = Outcome::kInternal;  // transient by definition: retry
+    out.error = e.what();
+  } catch (const CancelledError& e) {
+    out.cls = Outcome::kCancelled;
+    out.error = e.what();
+  } catch (const std::bad_alloc&) {
+    out.cls = Outcome::kResourceExhausted;
+    out.error = "allocation failure";
+  } catch (const std::exception& e) {
+    // Setup-phase failures (parser, model validation) are deterministic
+    // properties of the input; anything a stage throws is internal.
+    out.cls = phase == kSetup ? Outcome::kParseError : Outcome::kInternal;
+    out.error = e.what();
+  } catch (...) {
+    out.cls = Outcome::kInternal;
+    out.error = "unknown non-standard exception";
+  }
+  return out;
+}
+
+std::string JobServer::handle_job(const Request& req, ServerStats& stats) {
+  const Stopwatch watch;
+  int attempts = 0;
+  bool degraded = false;
+  Outcome out;
+  for (;;) {
+    if (attempts > 0) {
+      ++stats.retries;
+      if (options_.retry_backoff_ms > 0) {
+        long long ms = options_.retry_backoff_ms;
+        for (int r = 1; r < attempts && ms < options_.retry_backoff_cap_ms;
+             ++r) {
+          ms <<= 1;
+        }
+        ms = std::min(ms, options_.retry_backoff_cap_ms);
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      }
+    }
+    ++attempts;
+    out = run_attempt(req, degraded);
+    if (out.cls == Outcome::kOk || out.cls == Outcome::kParseError ||
+        out.cls == Outcome::kCancelled) {
+      break;
+    }
+    if (out.cls == Outcome::kTimedOut) {
+      // Degradation rung 2: shed the exponential table stage and retry
+      // analytic-only (fresh budgets).  Rung 3 is the error response.
+      if (!degraded && req.tables) {
+        degraded = true;
+        continue;
+      }
+      break;
+    }
+    // Transient classes: internal faults retry as-is, memory pressure
+    // degrades first (the table stage dominates the footprint).
+    if (out.cls == Outcome::kResourceExhausted && !degraded && req.tables) {
+      degraded = true;
+      continue;
+    }
+    if (attempts < 1 + options_.max_retries) continue;
+    break;
+  }
+
+  switch (out.cls) {
+    case Outcome::kOk: ++stats.ok; break;
+    case Outcome::kParseError: ++stats.parse_error; break;
+    case Outcome::kTimedOut: ++stats.timed_out; break;
+    case Outcome::kCancelled: ++stats.cancelled; break;
+    case Outcome::kResourceExhausted: ++stats.resource_exhausted; break;
+    case Outcome::kInternal: ++stats.internal; break;
+  }
+  if (degraded) ++stats.degraded;
+  if (out.cls == Outcome::kOk && !out.cached && !degraded &&
+      options_.cache_bytes > 0 && !out.cache_key.empty()) {
+    try {
+      cache_.insert(out.cache_key, out.payload);
+    } catch (...) {
+      // A cache fault (injected or real) must never affect the response.
+    }
+  }
+
+  std::ostringstream res;
+  res << "{\"id\": ";
+  json_escape(res, req.id);
+  res << ", \"status\": \"" << status_name(out.cls) << "\""
+      << ", \"attempts\": " << attempts
+      << ", \"cached\": " << (out.cached ? "true" : "false")
+      << ", \"degraded\": " << (degraded ? "true" : "false")
+      << ", \"seconds\": ";
+  json_seconds(res, watch.seconds());
+  if (!out.error.empty()) {
+    res << ", \"error\": ";
+    json_escape(res, out.error);
+  }
+  if (!out.payload.empty()) res << ", \"result\": " << out.payload;
+  res << "}";
+  return res.str();
+}
+
+std::string JobServer::stats_line(const ServerStats& stats) const {
+  std::ostringstream out;
+  out << "{\"status\": \"stats\", \"jobs\": " << stats.jobs
+      << ", \"responses\": " << stats.responses << ", \"ok\": " << stats.ok
+      << ", \"parse_error\": " << stats.parse_error
+      << ", \"timed_out\": " << stats.timed_out
+      << ", \"cancelled\": " << stats.cancelled
+      << ", \"resource_exhausted\": " << stats.resource_exhausted
+      << ", \"internal\": " << stats.internal
+      << ", \"retries\": " << stats.retries
+      << ", \"degraded\": " << stats.degraded << ", \"cache\": {\"hits\": "
+      << cache_.hits() << ", \"misses\": " << cache_.misses()
+      << ", \"evictions\": " << cache_.evictions()
+      << ", \"entries\": " << cache_.entry_count()
+      << ", \"bytes\": " << cache_.bytes_used()
+      << ", \"budget\": " << cache_.budget_bytes() << "}"
+      << ", \"stages\": [" << cache_.metrics().to_json() << "]"
+      << ", \"fault_injection\": {";
+  bool first = true;
+  for (const auto& [site, st] : fi::stats()) {
+    if (!first) out << ", ";
+    first = false;
+    json_escape(out, site);
+    out << ": {\"hits\": " << st.hits << ", \"fired\": " << st.fired << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+ServerStats JobServer::serve(std::istream& in, std::ostream& out) {
+  ServerStats stats;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream head(line);
+    std::string cmd;
+    head >> cmd;
+    if (cmd == "quit") break;
+    if (cmd == "stats") {
+      out << stats_line(stats) << "\n" << std::flush;
+      continue;
+    }
+    ++stats.jobs;
+    std::string response;
+    try {
+      Request req;
+      std::string perr;
+      if (!parse_request(line, req, perr)) {
+        ++stats.parse_error;
+        std::ostringstream res;
+        res << "{\"id\": ";
+        json_escape(res, req.id);
+        res << ", \"status\": \"parse_error\", \"attempts\": 0"
+            << ", \"cached\": false, \"degraded\": false"
+            << ", \"seconds\": 0.000000, \"error\": ";
+        json_escape(res, perr);
+        res << "}";
+        response = res.str();
+      } else {
+        response = handle_job(req, stats);
+      }
+    } catch (...) {
+      // Last-ditch per-request guard: even a failure while *formatting*
+      // the response must not kill the server or skip a response line.
+      ++stats.internal;
+      response =
+          "{\"id\": \"\", \"status\": \"internal\", \"attempts\": 0, "
+          "\"cached\": false, \"degraded\": false, \"seconds\": 0.000000, "
+          "\"error\": \"request handling failed\"}";
+    }
+    ++stats.responses;
+    out << response << "\n" << std::flush;
+  }
+  stats.cache_hits = cache_.hits();
+  stats.cache_misses = cache_.misses();
+  stats.cache_evictions = cache_.evictions();
+  out << stats_line(stats) << "\n" << std::flush;
+  return stats;
+}
+
+}  // namespace ftes::serve

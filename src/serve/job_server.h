@@ -1,0 +1,99 @@
+// Synthesis-as-a-service: a long-running, self-healing job server
+// (ROADMAP item 3; `ftes_cli --serve`).
+//
+// The server reads newline-delimited requests from an input stream and
+// answers exactly one JSON line per request, in order (the line protocol,
+// error taxonomy and retry/degradation semantics are documented in
+// docs/SERVER.md).  Robustness invariants, all soak-tested with the
+// fault-injection seam (util/fault_injection.h):
+//
+//   * Per-job isolation: any exception a job raises -- parse errors,
+//     injected internal faults, std::bad_alloc, CancelledError -- is
+//     caught at the job boundary, classified into the typed taxonomy
+//     (parse_error / timed_out / cancelled / resource_exhausted /
+//     internal) and reported in that job's response.  The server never
+//     dies and the stream position never desynchronizes.
+//   * Retry with capped exponential backoff for transient classes
+//     (internal, resource_exhausted); deterministic failures (parse
+//     errors) are never retried.  The attempt count is surfaced.
+//   * Graceful degradation: when a full-tables run exhausts its budget
+//     or memory, the job is retried analytic-WCSL-only (`degraded`:
+//     true) before giving up with an error response.
+//   * Structural result cache: completed, non-degraded results are
+//     cached under their canonical key (serve/result_cache.h) and repeat
+//     submissions are answered bit-identically without recomputation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "serve/result_cache.h"
+
+namespace ftes::serve {
+
+struct ServerOptions {
+  int threads = 1;                 ///< worker threads per job (0 = all)
+  std::uint64_t default_seed = 1;  ///< seed when the request has none
+  int default_iterations = 300;    ///< tabu iterations when none given
+  std::size_t cache_bytes = 8u << 20;  ///< result-cache budget (0 = off)
+  int max_retries = 2;             ///< extra attempts for transient classes
+  /// Base backoff before retry r (0-based) is `retry_backoff_ms << r`,
+  /// capped at retry_backoff_cap_ms.  0 disables sleeping (tests).
+  long long retry_backoff_ms = 0;
+  long long retry_backoff_cap_ms = 1000;
+};
+
+/// Aggregate outcome of one serve() run (also emitted as the final stats
+/// line of the stream).
+struct ServerStats {
+  long long jobs = 0;       ///< job requests read
+  long long responses = 0;  ///< responses written (== jobs on exit)
+  long long ok = 0;
+  long long parse_error = 0;
+  long long timed_out = 0;
+  long long cancelled = 0;
+  long long resource_exhausted = 0;
+  long long internal = 0;
+  long long retries = 0;    ///< extra attempts across all jobs
+  long long degraded = 0;   ///< responses served from the degraded rung
+  long long cache_hits = 0;
+  long long cache_misses = 0;
+  long long cache_evictions = 0;
+};
+
+class JobServer {
+ public:
+  explicit JobServer(ServerOptions options);
+
+  /// Runs the request loop until EOF or a `quit` command, writing one
+  /// response line per request plus one final stats line.  Never throws
+  /// for job-level failures; the caller owns stream lifetime.
+  ServerStats serve(std::istream& in, std::ostream& out);
+
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+
+  /// Opaque to callers (defined in job_server.cpp); public so the
+  /// response-formatting helpers there can name them.
+  struct Request;
+  struct Outcome;
+
+ private:
+  /// Parses one `job ...` command line.  Returns false (with `error`
+  /// filled) on malformed requests.
+  static bool parse_request(const std::string& line, Request& req,
+                            std::string& error);
+  /// One synthesis attempt; never throws (every failure is classified
+  /// into the returned Outcome).
+  Outcome run_attempt(const Request& req, bool degraded);
+  /// The full job: cache lookup, attempt/retry/degradation loop, cache
+  /// insert.  Returns the complete response line (without newline).
+  std::string handle_job(const Request& req, ServerStats& stats);
+  std::string stats_line(const ServerStats& stats) const;
+
+  ServerOptions options_;
+  ResultCache cache_;
+};
+
+}  // namespace ftes::serve

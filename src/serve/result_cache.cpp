@@ -1,0 +1,127 @@
+#include "serve/result_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "util/fault_injection.h"
+
+namespace ftes::serve {
+
+namespace {
+
+void append_double(std::ostringstream& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out << buf;
+}
+
+}  // namespace
+
+std::string canonical_key(const Application& app, const Architecture& arch,
+                          const FaultModel& model,
+                          const SynthesisOptions& options) {
+  std::ostringstream out;
+  out << "v1;arch n=" << arch.node_count() << " payload="
+      << arch.bus().slot_payload() << " slots=";
+  for (const TdmaSlot& slot : arch.bus().slots()) {
+    out << slot.owner.get() << ":" << slot.length << ",";
+  }
+  out << ";k=" << model.k << ";deadline=" << app.deadline()
+      << ";period=" << app.period() << ";";
+  for (const Process& p : app.processes()) {
+    out << "p";
+    std::vector<std::pair<NodeId, Time>> wcets;
+    wcets.reserve(p.wcet.size());
+    // lint: order-insensitive -- the entries are sorted by node id below
+    // before they reach the key, so the map's iteration order is
+    // irrelevant
+    for (const auto& kv : p.wcet) wcets.push_back(kv);
+    std::sort(wcets.begin(), wcets.end());
+    for (const auto& [node, wcet] : wcets) {
+      out << " " << node.get() << "=" << wcet;
+    }
+    out << " a=" << p.alpha << " m=" << p.mu << " c=" << p.chi
+        << " f=" << (p.frozen ? 1 : 0) << " r=" << p.release;
+    if (p.fixed_mapping) out << " map=" << p.fixed_mapping->get();
+    if (p.local_deadline) out << " dl=" << *p.local_deadline;
+    if (p.fixed_policy) out << " pol=" << static_cast<int>(*p.fixed_policy);
+    if (p.soft) {
+      out << " soft=";
+      append_double(out, p.soft->utility);
+      out << ":" << p.soft->soft_deadline << ":" << p.soft->window;
+    }
+    out << ";";
+  }
+  for (const Message& m : app.messages()) {
+    out << "e " << m.src.get() << ">" << m.dst.get() << " s=" << m.size
+        << " f=" << (m.frozen ? 1 : 0) << ";";
+  }
+  const OptimizeOptions& opt = options.optimize;
+  out << "opt seed=" << opt.seed << " it=" << opt.iterations
+      << " ten=" << opt.tenure << " nb=" << opt.neighborhood
+      << " maxcp=" << opt.max_checkpoints
+      << " space=" << static_cast<int>(opt.space)
+      << " map=" << (opt.optimize_mapping ? 1 : 0)
+      << " cp=" << (opt.optimize_checkpoints ? 1 : 0)
+      << " refine=" << (options.refine_checkpoints ? 1 : 0)
+      << " tables=" << (options.build_schedule_tables ? 1 : 0);
+  return out.str();
+}
+
+bool ResultCache::lookup(const std::string& key, std::string& payload) {
+  FTES_FAULT_POINT("cache.lookup");
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  payload = it->second->payload;
+  ++hits_;
+  return true;
+}
+
+void ResultCache::insert(const std::string& key, const std::string& payload) {
+  FTES_FAULT_POINT("cache.insert");
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Refresh: by construction the payload of a given key never changes,
+    // but tolerate a caller that re-inserts after an eviction race.
+    bytes_used_ -= charge(*it->second);
+    it->second->payload = payload;
+    bytes_used_ += charge(*it->second);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    evict_until_within_budget();
+    return;
+  }
+  Entry entry{key, payload};
+  if (charge(entry) > budget_bytes_) return;  // can never fit
+  bytes_used_ += charge(entry);
+  lru_.push_front(std::move(entry));
+  entries_[key] = lru_.begin();
+  evict_until_within_budget();
+}
+
+void ResultCache::evict_until_within_budget() {
+  while (bytes_used_ > budget_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_used_ -= charge(victim);
+    entries_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+StageMetrics ResultCache::metrics() const {
+  StageMetrics m;
+  m.stage = "result_cache";
+  m.result_cache_hits = hits_;
+  m.result_cache_misses = misses_;
+  m.result_cache_evictions = evictions_;
+  return m;
+}
+
+}  // namespace ftes::serve

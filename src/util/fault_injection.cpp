@@ -1,0 +1,161 @@
+#include "util/fault_injection.h"
+
+#include <mutex>
+#include <new>
+#include <utility>
+
+#include "util/cancellation.h"
+
+namespace ftes::fi {
+
+namespace {
+
+struct RuleState {
+  FaultRule rule;
+  std::uint64_t fired = 0;  ///< fires charged against rule.limit
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<RuleState> rules;
+  std::map<std::string, SiteStats> sites;
+};
+
+std::atomic<bool> g_armed{false};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+std::uint64_t parse_u64(const std::string& spec, const std::string& value) {
+  try {
+    // stoull wraps "-1" to ULLONG_MAX instead of failing.
+    if (value.empty() || value[0] == '-') throw std::invalid_argument(value);
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return static_cast<std::uint64_t>(v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault rule '" + spec +
+                                "': expected an unsigned integer, got '" +
+                                value + "'");
+  }
+}
+
+}  // namespace
+
+FaultRule parse_rule(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t colon = spec.find(':', start);
+    if (colon == std::string::npos) {
+      parts.push_back(spec.substr(start));
+      break;
+    }
+    parts.push_back(spec.substr(start, colon - start));
+    start = colon + 1;
+  }
+  if (parts.size() < 2 || parts[0].empty()) {
+    throw std::invalid_argument(
+        "fault rule '" + spec +
+        "': expected site:kind[:every=N][:offset=N][:limit=N]");
+  }
+  FaultRule rule;
+  rule.site = parts[0];
+  const std::string& kind = parts[1];
+  if (kind == "throw") {
+    rule.kind = FaultKind::kThrow;
+  } else if (kind == "bad-alloc" || kind == "bad_alloc") {
+    rule.kind = FaultKind::kBadAlloc;
+  } else if (kind == "cancel") {
+    rule.kind = FaultKind::kCancel;
+  } else {
+    throw std::invalid_argument("fault rule '" + spec + "': unknown kind '" +
+                                kind + "' (throw|bad-alloc|cancel)");
+  }
+  for (std::size_t i = 2; i < parts.size(); ++i) {
+    const std::size_t eq = parts[i].find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("fault rule '" + spec +
+                                  "': expected key=value, got '" + parts[i] +
+                                  "'");
+    }
+    const std::string key = parts[i].substr(0, eq);
+    const std::string value = parts[i].substr(eq + 1);
+    if (key == "every") {
+      rule.every = parse_u64(spec, value);
+      if (rule.every == 0) {
+        throw std::invalid_argument("fault rule '" + spec +
+                                    "': every must be >= 1");
+      }
+    } else if (key == "offset") {
+      rule.offset = parse_u64(spec, value);
+    } else if (key == "limit") {
+      rule.limit = parse_u64(spec, value);
+    } else {
+      throw std::invalid_argument("fault rule '" + spec + "': unknown key '" +
+                                  key + "' (every|offset|limit)");
+    }
+  }
+  return rule;
+}
+
+void configure(std::vector<FaultRule> rules) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.rules.clear();
+  reg.rules.reserve(rules.size());
+  for (FaultRule& r : rules) reg.rules.push_back(RuleState{std::move(r), 0});
+  reg.sites.clear();
+  g_armed.store(!reg.rules.empty(), std::memory_order_relaxed);
+}
+
+void disarm() { configure({}); }
+
+std::map<std::string, SiteStats> stats() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.sites;
+}
+
+bool armed() noexcept { return g_armed.load(std::memory_order_relaxed); }
+
+void hit_armed(const char* site) {
+  Registry& reg = registry();
+  FaultKind fire_kind = FaultKind::kThrow;
+  bool fire = false;
+  std::string fired_site;
+  {
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    if (reg.rules.empty()) return;  // disarmed between the load and here
+    SiteStats& st = reg.sites[site];
+    const std::uint64_t hit_number = st.hits++;
+    for (RuleState& rs : reg.rules) {
+      if (rs.rule.site != site) continue;
+      if (hit_number % rs.rule.every != rs.rule.offset % rs.rule.every) {
+        continue;
+      }
+      if (rs.rule.limit != 0 && rs.fired >= rs.rule.limit) continue;
+      ++rs.fired;
+      ++st.fired;
+      fire = true;
+      fire_kind = rs.rule.kind;
+      fired_site = site;
+      break;
+    }
+  }
+  if (!fire) return;  // throw outside the lock
+  switch (fire_kind) {
+    case FaultKind::kThrow:
+      throw InjectedFault("injected fault at site '" + fired_site + "'");
+    case FaultKind::kBadAlloc:
+      throw std::bad_alloc();
+    case FaultKind::kCancel:
+      throw CancelledError(
+          ("injected cancellation at site '" + fired_site + "'").c_str());
+  }
+}
+
+}  // namespace ftes::fi

@@ -4,6 +4,8 @@
 #include <exception>
 #include <memory>
 
+#include "util/fault_injection.h"
+
 namespace ftes {
 
 namespace {
@@ -87,6 +89,7 @@ struct ForState {
         ++claimed;
       }
       try {
+        FTES_FAULT_POINT("pool.chunk");
         body(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex);
@@ -112,7 +115,10 @@ void parallel_for(ThreadPool& pool, std::size_t n, int threads,
       {n - 1, threads > 1 ? static_cast<std::size_t>(threads) - 1 : 0,
        static_cast<std::size_t>(pool.worker_count())});
   if (helpers == 0) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      FTES_FAULT_POINT("pool.chunk");
+      body(i);
+    }
     return;
   }
 

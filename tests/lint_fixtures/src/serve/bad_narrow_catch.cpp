@@ -1,0 +1,17 @@
+// R6 fixture: a job-boundary catch chain that lets non-standard
+// exceptions escape and kill the server.
+#include <exception>
+
+namespace fixture {
+
+int risky();
+
+int run_job() {
+  try {
+    return risky();
+  } catch (const std::exception&) {
+    return -1;
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// R6 fixture: the same job boundary, exhaustively caught.
+#include <exception>
+
+namespace fixture {
+
+int risky();
+
+int run_job() {
+  try {
+    return risky();
+  } catch (const std::exception&) {
+    return -1;
+  } catch (...) {
+    return -2;
+  }
+}
+
+}  // namespace fixture

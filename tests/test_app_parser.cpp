@@ -1,7 +1,14 @@
-// Tests of the problem-file parser (src/io).
+// Tests of the problem-file parser (src/io), including the adversarial
+// corpus added when the parser became a network-facing surface (the job
+// server feeds it arbitrary `text=` request bytes): every malformed input
+// must produce a clean std::exception, never a crash, hang or huge
+// allocation.
 #include "io/app_parser.h"
 
 #include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
 
 namespace ftes {
 namespace {
@@ -109,6 +116,88 @@ TEST(AppParser, RequiresArchAndDeadline) {
 
 TEST(AppParser, RejectsProcessBeforeArch) {
   EXPECT_THROW((void)parse_problem_string("process A wcet N1=5\n"),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------- adversarial corpus --
+
+/// Parsing either succeeds or throws std::exception; anything else
+/// (crash, uncaught non-standard type) fails the test by terminating.
+void expect_clean(const std::string& text) {
+  try {
+    (void)parse_problem_string(text);
+  } catch (const std::exception&) {
+    // expected shape for malformed input
+  }
+}
+
+TEST(AppParserAdversarial, EveryBytePrefixOfAValidProblemParsesCleanly) {
+  const std::string whole(kFig5);
+  for (std::size_t len = 0; len <= whole.size(); ++len) {
+    expect_clean(whole.substr(0, len));
+  }
+}
+
+TEST(AppParserAdversarial, GarbageAndBinaryLinesAreCleanErrors) {
+  expect_clean("\x01\x02\xff\xfe\n");
+  expect_clean(std::string("arch nodes=2 slot=5\n\x00\x7f\n", 23));  // NUL byte
+  expect_clean("{\"json\": \"not ftes\"}\n");
+  expect_clean("process process process\n");
+  expect_clean(std::string(4096, '='));
+  expect_clean("arch nodes=2 slot=5\nk 1\ndeadline 10\nprocess = wcet\n");
+}
+
+TEST(AppParserAdversarial, HugeTokensDoNotBlowUp) {
+  const std::string big_name(1 << 20, 'A');
+  expect_clean("arch nodes=2 slot=5\nk 1\ndeadline 100\nprocess " + big_name +
+               " wcet N1=5\n");
+  expect_clean("arch nodes=" + std::string(5000, '9') + " slot=5\n");
+  expect_clean(std::string(1 << 20, ' ') + "\n");
+}
+
+TEST(AppParserAdversarial, ResourceBoundsAreEnforced) {
+  // A giant node count would otherwise allocate slot tables eagerly.
+  EXPECT_THROW(
+      (void)parse_problem_string("arch nodes=999999999 slot=5\nk 0\n"
+                                 "deadline 10\nprocess A wcet N1=5\n"),
+      std::invalid_argument);
+  // k beyond the supported bound, and a zero bus payload.
+  EXPECT_THROW((void)parse_problem_string("arch nodes=1 slot=5\nk 99999\n"
+                                          "deadline 10\nprocess A wcet N1=5\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)parse_problem_string("arch nodes=1 slot=5 payload=0\nk 0\n"
+                                 "deadline 10\nprocess A wcet N1=5\n"),
+      std::invalid_argument);
+}
+
+TEST(AppParserAdversarial, NumericOverflowAndNegativesAreCleanErrors) {
+  EXPECT_THROW(
+      (void)parse_problem_string("arch nodes=2 slot=5\nk 1\n"
+                                 "deadline 99999999999999999999999999\n"
+                                 "process A wcet N1=5\n"),
+      std::invalid_argument);
+  // Magnitudes past the documented 1e15 cap cannot silently overflow the
+  // integer time arithmetic downstream.
+  EXPECT_THROW(
+      (void)parse_problem_string("arch nodes=2 slot=5\nk 1\n"
+                                 "deadline 9999999999999999\n"
+                                 "process A wcet N1=5\n"),
+      std::invalid_argument);
+  // Negative durations are rejected at the parse boundary.
+  EXPECT_THROW((void)parse_problem_string("arch nodes=2 slot=5\nk 1\n"
+                                          "deadline 100\n"
+                                          "process A wcet N1=-5\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_problem_string("arch nodes=2 slot=5\nk 1\n"
+                                          "deadline 100\n"
+                                          "process A wcet N1=5 alpha=-1\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_problem_string("arch nodes=2 slot=5\nk 1\n"
+                                          "deadline 100\n"
+                                          "process A wcet N1=5\n"
+                                          "process B wcet N1=5\n"
+                                          "message m A B size=-2\n"),
                std::invalid_argument);
 }
 

@@ -11,6 +11,7 @@
 
 #include "fixtures.h"
 #include "opt/policy_assignment.h"
+#include "util/fault_injection.h"
 #include "util/thread_pool.h"
 
 namespace ftes {
@@ -143,6 +144,56 @@ TEST(BatchRunner, JsonReportCarriesTasksAndStageMetrics) {
   EXPECT_NE(with_error.find("\"error\": \"bad \\\"quote\\\"\""),
             std::string::npos);
 }
+
+TEST(BatchRunner, MalformedFtesFileInDirFailsAloneNotTheSweep) {
+  // Regression for the serve-era hardening: a malformed .ftes dropped into
+  // a batch directory must yield one failed task, not a thrown-out sweep.
+  const std::string dir = ::testing::TempDir() + "ftes_batch_malformed";
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir + "/a_good.ftes") << kQuickstartProblem;
+  std::ofstream(dir + "/b_bad.ftes") << "arch nodes=2 slot=5\n\x01\x02 what\n";
+  std::ofstream(dir + "/c_truncated.ftes")
+      << "arch nodes=2 slot=5\nk 2\nprocess P1 wcet";
+  BatchOptions options;
+  options.threads = 2;
+  options.synthesis.optimize.iterations = 20;
+  options.synthesis.build_schedule_tables = false;
+  const BatchReport report = run_batch(load_batch_dir(dir), options);
+  std::filesystem::remove_all(dir);
+
+  ASSERT_EQ(report.results.size(), 3u);
+  EXPECT_EQ(report.failed_count, 2);
+  EXPECT_TRUE(report.results[0].ok);
+  EXPECT_FALSE(report.results[1].ok);
+  EXPECT_NE(report.results[1].error.find("line"), std::string::npos);
+  EXPECT_FALSE(report.results[2].ok);
+}
+
+#ifndef FTES_FI_DISABLED
+TEST(BatchRunner, InjectedStageFaultIsCapturedPerTask) {
+  // With threads=1 the stage-execution order is deterministic: each of
+  // the 3 tasks passes 3 pipeline stage points, so hit 4 (0-based) is the
+  // middle task's second stage.  The fault must land in that task's error
+  // slot and nowhere else.
+  struct Guard {
+    ~Guard() { fi::disarm(); }
+  } guard;
+  fi::configure(
+      {fi::parse_rule("pipeline.stage:throw:every=1000:offset=4:limit=1")});
+  BatchOptions options;
+  options.threads = 1;
+  options.synthesis.optimize.iterations = 20;
+  options.synthesis.build_schedule_tables = false;
+  const BatchReport report = run_batch(make_tasks(3), options);
+
+  ASSERT_EQ(report.results.size(), 3u);
+  EXPECT_EQ(report.failed_count, 1);
+  EXPECT_TRUE(report.results[0].ok);
+  EXPECT_FALSE(report.results[1].ok);
+  EXPECT_NE(report.results[1].error.find("injected fault"), std::string::npos);
+  EXPECT_TRUE(report.results[2].ok);
+}
+#endif
 
 TEST(BatchRunner, LoadBatchDirRejectsMissingDirectory) {
   EXPECT_THROW((void)load_batch_dir("/nonexistent/ftes/batch/dir"),

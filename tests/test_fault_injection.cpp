@@ -1,0 +1,152 @@
+// Tests of the deterministic fault-injection seam (util/fault_injection.h):
+// rule parsing, the per-site firing schedule, limits/offsets, the three
+// fault kinds, and the hit/fired counters the server's soak test asserts.
+#include "util/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <new>
+#include <stdexcept>
+#include <string>
+
+#include "util/cancellation.h"
+
+namespace ftes::fi {
+namespace {
+
+#ifdef FTES_FI_DISABLED
+// With the seam compiled out, the only contract left is that the macro is
+// a well-formed no-op expression.
+TEST(FaultInjection, DisabledSeamCompilesToNoOp) {
+  FTES_FAULT_POINT("parse");
+  SUCCEED();
+}
+#else
+
+/// Every test leaves the process-global registry disarmed, whatever path
+/// it exits through (ASSERT failures included).
+struct DisarmGuard {
+  ~DisarmGuard() { disarm(); }
+};
+
+TEST(FaultRuleParse, AcceptsFullAndMinimalSpecs) {
+  const FaultRule minimal = parse_rule("parse:throw");
+  EXPECT_EQ(minimal.site, "parse");
+  EXPECT_EQ(minimal.kind, FaultKind::kThrow);
+  EXPECT_EQ(minimal.every, 1u);
+  EXPECT_EQ(minimal.offset, 0u);
+  EXPECT_EQ(minimal.limit, 0u);
+
+  const FaultRule full = parse_rule("pool.chunk:bad-alloc:every=7:offset=3:limit=2");
+  EXPECT_EQ(full.site, "pool.chunk");
+  EXPECT_EQ(full.kind, FaultKind::kBadAlloc);
+  EXPECT_EQ(full.every, 7u);
+  EXPECT_EQ(full.offset, 3u);
+  EXPECT_EQ(full.limit, 2u);
+
+  EXPECT_EQ(parse_rule("serve.job:bad_alloc").kind, FaultKind::kBadAlloc);
+  EXPECT_EQ(parse_rule("serve.job:cancel").kind, FaultKind::kCancel);
+}
+
+TEST(FaultRuleParse, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)parse_rule(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_rule("parse"), std::invalid_argument);
+  EXPECT_THROW((void)parse_rule(":throw"), std::invalid_argument);
+  EXPECT_THROW((void)parse_rule("parse:explode"), std::invalid_argument);
+  EXPECT_THROW((void)parse_rule("parse:throw:every=0"), std::invalid_argument);
+  EXPECT_THROW((void)parse_rule("parse:throw:every=x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_rule("parse:throw:every"), std::invalid_argument);
+  EXPECT_THROW((void)parse_rule("parse:throw:bogus=1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_rule("parse:throw:every=-1"), std::invalid_argument);
+}
+
+TEST(FaultInjection, DisarmedSeamIsInert) {
+  const DisarmGuard guard;
+  disarm();
+  EXPECT_FALSE(armed());
+  for (int i = 0; i < 100; ++i) FTES_FAULT_POINT("parse");
+  EXPECT_TRUE(stats().empty());
+}
+
+TEST(FaultInjection, FiresOnTheDeterministicSchedule) {
+  const DisarmGuard guard;
+  // Hit numbers are 0-based: every=3 offset=0 fires on hits 0, 3, 6, 9.
+  configure({parse_rule("site.a:throw:every=3")});
+  ASSERT_TRUE(armed());
+  int fired = 0;
+  std::string fired_at;
+  for (int i = 0; i < 10; ++i) {
+    try {
+      FTES_FAULT_POINT("site.a");
+    } catch (const InjectedFault& e) {
+      ++fired;
+      fired_at += std::to_string(i) + ",";
+      EXPECT_NE(std::string(e.what()).find("site.a"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(fired_at, "0,3,6,9,");
+  EXPECT_EQ(fired, 4);
+
+  const auto st = stats();
+  ASSERT_EQ(st.count("site.a"), 1u);
+  EXPECT_EQ(st.at("site.a").hits, 10u);
+  EXPECT_EQ(st.at("site.a").fired, 4u);
+}
+
+TEST(FaultInjection, OffsetAndLimitShapeTheSchedule) {
+  const DisarmGuard guard;
+  configure({parse_rule("site.b:throw:every=4:offset=1:limit=2")});
+  std::string fired_at;
+  for (int i = 0; i < 16; ++i) {
+    try {
+      FTES_FAULT_POINT("site.b");
+    } catch (const InjectedFault&) {
+      fired_at += std::to_string(i) + ",";
+    }
+  }
+  // Would fire at 1, 5, 9, 13 -- but limit=2 stops after two.
+  EXPECT_EQ(fired_at, "1,5,");
+  EXPECT_EQ(stats().at("site.b").fired, 2u);
+}
+
+TEST(FaultInjection, OtherSitesAreUntouched) {
+  const DisarmGuard guard;
+  configure({parse_rule("site.c:throw")});
+  for (int i = 0; i < 5; ++i) FTES_FAULT_POINT("site.other");
+  EXPECT_THROW(FTES_FAULT_POINT("site.c"), InjectedFault);
+  const auto st = stats();
+  EXPECT_EQ(st.at("site.other").fired, 0u);
+  EXPECT_EQ(st.at("site.other").hits, 5u);
+  EXPECT_EQ(st.at("site.c").fired, 1u);
+}
+
+TEST(FaultInjection, EachKindThrowsItsExceptionType) {
+  const DisarmGuard guard;
+  configure({parse_rule("k.throw:throw"), parse_rule("k.alloc:bad-alloc"),
+             parse_rule("k.cancel:cancel")});
+  EXPECT_THROW(FTES_FAULT_POINT("k.throw"), InjectedFault);
+  EXPECT_THROW(FTES_FAULT_POINT("k.alloc"), std::bad_alloc);
+  EXPECT_THROW(FTES_FAULT_POINT("k.cancel"), CancelledError);
+  // InjectedFault is a runtime_error so existing std::exception boundaries
+  // (batch tasks, serve jobs) classify it without special cases.
+  EXPECT_THROW(FTES_FAULT_POINT("k.throw"), std::runtime_error);
+}
+
+TEST(FaultInjection, ReconfigureResetsCountersAndSchedules) {
+  const DisarmGuard guard;
+  configure({parse_rule("site.d:throw:limit=1")});
+  EXPECT_THROW(FTES_FAULT_POINT("site.d"), InjectedFault);
+  FTES_FAULT_POINT("site.d");  // limit exhausted: no fire
+  EXPECT_EQ(stats().at("site.d").hits, 2u);
+
+  configure({parse_rule("site.d:throw:limit=1")});
+  EXPECT_TRUE(stats().empty());  // fresh registry
+  EXPECT_THROW(FTES_FAULT_POINT("site.d"), InjectedFault);  // limit reset
+  disarm();
+  EXPECT_FALSE(armed());
+}
+
+#endif  // FTES_FI_DISABLED
+
+}  // namespace
+}  // namespace ftes::fi

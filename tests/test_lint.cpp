@@ -1,6 +1,6 @@
 // Tests of the ftes-lint static-analysis pass (src/lint) against the
 // fixture tree in tests/lint_fixtures: one known-bad and one known-good
-// snippet per rule R1-R5, plus unit tests of the lexer, baseline and
+// snippet per rule R1-R6, plus unit tests of the lexer, baseline and
 // --fix-annotations machinery.
 #include "lint/engine.h"
 
@@ -98,12 +98,12 @@ TEST(LintLexer, UnjustifiedAnnotationParsesButIsMarked) {
   EXPECT_TRUE(f.annotations[0].why.empty());
 }
 
-// --------------------------------------------------- fixture tree, R1-R5 --
+// --------------------------------------------------- fixture tree, R1-R6 --
 
 TEST(LintFixtures, BadFixturesProduceExactDiagnostics) {
   const LintConfig config = fixture_config();
   const std::vector<SourceFile> files = load_tree(kFixtureRoot, config);
-  ASSERT_EQ(files.size(), 10u) << "fixture tree changed shape";
+  ASSERT_EQ(files.size(), 12u) << "fixture tree changed shape";
   const LintResult result = run_lint(files, config);
 
   std::vector<std::string> got;
@@ -114,17 +114,19 @@ TEST(LintFixtures, BadFixturesProduceExactDiagnostics) {
       "src/core/bad_unordered_iter.cpp:12:unordered-iter",
       "src/opt/bad_missing_poll.cpp:10:missing-cancel-poll",
       "src/sched/bad_float.cpp:5:float-in-result-path",
+      "src/serve/bad_narrow_catch.cpp:12:missing-catch-all",
       "src/sim/bad_ordered_map.cpp:7:ordered-container-hot-path",
   };
   EXPECT_EQ(got, want);
-  EXPECT_EQ(result.files_scanned, 10);
+  EXPECT_EQ(result.files_scanned, 12);
 }
 
 TEST(LintFixtures, GoodFixturesAreSuppressedByAnnotations) {
   const LintConfig config = fixture_config();
   const LintResult result = run_lint(load_tree(kFixtureRoot, config), config);
   // good_order_insensitive (R1) + good_integer_time (R4) + good_cold_path
-  // (R5); good_polled passes by actually polling, stopwatch.h by allowlist.
+  // (R5); good_polled passes by actually polling, good_exhaustive_catch by
+  // its final catch (...), stopwatch.h by allowlist.
   EXPECT_EQ(result.suppressed, 3);
   for (const Diagnostic& d : result.diagnostics)
     EXPECT_EQ(d.file.find("good_"), std::string::npos) << loc(d);
@@ -250,18 +252,101 @@ TEST(LintRules, AnnotationOnWrongLineDoesNotSuppress) {
   EXPECT_EQ(result.suppressed, 0);
 }
 
+TEST(LintRules, ServeScopeParallelForMustPoll) {
+  // PR 8 put src/serve/ into cancel_scopes: the job server runs jobs on
+  // the shared pool under per-job budgets, so its chunk bodies must poll.
+  const std::vector<SourceFile> files = {
+      {"src/serve/fanout.cpp",
+       "void fan(long* out, unsigned long n) {\n"
+       "  parallel_for(pool, n, 4, [&](unsigned long i) {\n"
+       "    out[i] = 1;\n"
+       "  });\n"
+       "}\n"},
+  };
+  const LintResult result = run_lint(files, inline_config());
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(loc(result.diagnostics[0]),
+            "src/serve/fanout.cpp:2:missing-cancel-poll");
+}
+
+TEST(LintRules, CatchAllOnlyRequiredInServeScope) {
+  // The identical narrow catch is fine outside the job boundary: R6 is
+  // scoped to src/serve/, where an escaping exception kills the server.
+  const std::string text =
+      "int risky();\n"
+      "int f() {\n"
+      "  try {\n"
+      "    return risky();\n"
+      "  } catch (int e) {\n"
+      "    return e;\n"
+      "  }\n"
+      "}\n";
+  const std::vector<SourceFile> outside = {{"src/core/narrow.cpp", text}};
+  EXPECT_TRUE(run_lint(outside, inline_config()).diagnostics.empty());
+
+  const std::vector<SourceFile> inside = {{"src/serve/narrow.cpp", text}};
+  const LintResult result = run_lint(inside, inline_config());
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(loc(result.diagnostics[0]),
+            "src/serve/narrow.cpp:5:missing-catch-all");
+}
+
+TEST(LintRules, CatchAllAnywhereInTheChainSatisfiesR6) {
+  const std::vector<SourceFile> files = {
+      {"src/serve/chain.cpp",
+       "int risky();\n"
+       "int f() {\n"
+       "  try {\n"
+       "    return risky();\n"
+       "  } catch (int e) {\n"
+       "    return e;\n"
+       "  } catch (...) {\n"
+       "    return -1;\n"
+       "  }\n"
+       "}\n"},
+      {"src/serve/bare_try.cpp",
+       // A catch-all-only chain is the minimal compliant form.
+       "int g() {\n"
+       "  try {\n"
+       "    return 1;\n"
+       "  } catch (...) {\n"
+       "    return 0;\n"
+       "  }\n"
+       "}\n"},
+  };
+  EXPECT_TRUE(run_lint(files, inline_config()).diagnostics.empty());
+}
+
+TEST(LintRules, CatchOkAnnotationSuppressesR6) {
+  const std::vector<SourceFile> files = {
+      {"src/serve/annotated.cpp",
+       "int risky();\n"
+       "int f() {\n"
+       "  try {\n"
+       "    return risky();\n"
+       "  // lint: catch-ok -- rethrown by design, outer boundary catches\n"
+       "  } catch (int e) {\n"
+       "    return e;\n"
+       "  }\n"
+       "}\n"},
+  };
+  const LintResult result = run_lint(files, inline_config());
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_EQ(result.suppressed, 1);
+}
+
 // ---------------------------------------------------------------- baseline --
 
 TEST(LintBaseline, RoundTripSwallowsExactlyTheRenderedFindings) {
   const LintConfig config = fixture_config();
   const LintResult result = run_lint(load_tree(kFixtureRoot, config), config);
-  ASSERT_EQ(result.diagnostics.size(), 6u);
+  ASSERT_EQ(result.diagnostics.size(), 7u);
 
   const std::string rendered = render_baseline(result.diagnostics);
   const BaselineSplit split =
       apply_baseline(result.diagnostics, parse_baseline(rendered));
   EXPECT_TRUE(split.fresh.empty());
-  EXPECT_EQ(split.grandfathered, 6);
+  EXPECT_EQ(split.grandfathered, 7);
 
   // Rendering is byte-stable: same findings, same bytes.
   EXPECT_EQ(rendered, render_baseline(result.diagnostics));
@@ -283,7 +368,7 @@ TEST(LintBaseline, KeysAreAnchoredToSourceTextNotLineNumbers) {
 
   const BaselineSplit split = apply_baseline(after.diagnostics, baseline);
   EXPECT_TRUE(split.fresh.empty());
-  EXPECT_EQ(split.grandfathered, 6);
+  EXPECT_EQ(split.grandfathered, 7);
 }
 
 TEST(LintBaseline, CommentsAndBlanksInBaselineAreIgnored) {
@@ -298,12 +383,12 @@ TEST(LintFix, InsertsSuppressionsThatSilenceSuppressibleFindings) {
   LintConfig config = fixture_config();
   std::vector<SourceFile> files = load_tree(kFixtureRoot, config);
   const LintResult before = run_lint(files, config);
-  ASSERT_EQ(before.diagnostics.size(), 6u);
+  ASSERT_EQ(before.diagnostics.size(), 7u);
 
   const int inserted = fix_annotations(&files, before.diagnostics);
-  // Four of the six findings are suppressible; the two nondeterminism
+  // Five of the seven findings are suppressible; the two nondeterminism
   // findings need a code fix and must NOT get a comment.
-  EXPECT_EQ(inserted, 4);
+  EXPECT_EQ(inserted, 5);
 
   const LintResult after = run_lint(files, config);
   for (const Diagnostic& d : after.diagnostics)
@@ -317,7 +402,7 @@ TEST(LintFix, InsertsSuppressionsThatSilenceSuppressibleFindings) {
   int todo_flags = 0;
   for (const Diagnostic& d : strict.diagnostics)
     if (d.rule == kRuleNeedsJustification) ++todo_flags;
-  EXPECT_EQ(todo_flags, 4);
+  EXPECT_EQ(todo_flags, 5);
 }
 
 TEST(LintFix, InsertedCommentMatchesIndentation) {

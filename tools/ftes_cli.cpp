@@ -46,10 +46,30 @@
 //                       every expected violation kind to show up (an empty
 //                       expectation requires a clean replay); mismatch ->
 //                       exit status 2 (single mode)
+//   --serve             job-server mode: read newline-delimited job
+//                       requests from stdin, answer one JSON line each
+//                       (docs/SERVER.md); job failures are reported
+//                       in-band, never through the exit status
+//   --cache-bytes <n>   --serve: result-cache byte budget (default 8 MiB;
+//                       0 disables the cache)
+//   --max-retries <n>   --serve: extra attempts for transient job failures
+//                       (default 2)
+//   --retry-backoff-ms <n>  --serve: base backoff before a retry, doubled
+//                       per attempt and capped at 1000 ms (default 0: no
+//                       sleeping)
+//   --inject <spec>     arm the fault-injection seam with a rule
+//                       `site:kind[:every=N][:offset=N][:limit=N]`, kind
+//                       one of throw|bad-alloc|cancel (repeatable; see
+//                       util/fault_injection.h).  Testing only.
 //
-// Exit status: 0 if a schedulable configuration was found (in batch mode:
-// every task synthesized without error), 2 otherwise, 1 on usage/parse
-// errors.
+// Exit status (the full contract is documented in docs/CLI.md):
+//   0  success -- single mode: schedulable and every requested fuzz/replay
+//      check passed; batch mode: no task failed; serve mode: the request
+//      stream drained (per-job failures are in-band JSON statuses)
+//   1  usage, configuration or input errors (unknown flags, invalid flag
+//      combinations, unreadable or malformed problem/fixture files)
+//   2  domain failures -- single mode: not schedulable, or a fuzz/replay
+//      expectation failed; batch mode: at least one task failed
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -64,9 +84,11 @@
 #include "io/app_parser.h"
 #include "sched/root_schedule.h"
 #include "sched/table_export.h"
+#include "serve/job_server.h"
 #include "sim/executor.h"
 #include "sim/fuzzer.h"
 #include "sim/gantt.h"
+#include "util/fault_injection.h"
 #include "util/thread_pool.h"
 
 using namespace ftes;
@@ -92,6 +114,11 @@ struct CliOptions {
   std::uint64_t fuzz_seed = 1;
   std::string fuzz_out;
   std::string replay_path;
+  bool serve = false;
+  long long cache_bytes = 8ll << 20;
+  int max_retries = 2;
+  long long retry_backoff_ms = 0;
+  std::vector<std::string> inject_specs;
 };
 
 int usage() {
@@ -103,7 +130,10 @@ int usage() {
                "[--fuzz-out file] [--replay file]\n"
                "       ftes_cli --batch <dir> [--seed n] [--iterations n] "
                "[--threads n] [--stage-budget-ms n] [--total-budget-ms n] "
-               "[--json] [--fuzz n] [--fuzz-seed n]\n");
+               "[--json] [--fuzz n] [--fuzz-seed n]\n"
+               "       ftes_cli --serve [--seed n] [--iterations n] "
+               "[--threads n] [--cache-bytes n] [--max-retries n] "
+               "[--retry-backoff-ms n] [--inject spec]...\n");
   return 1;
 }
 
@@ -144,6 +174,16 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       opts.fuzz_out = argv[++i];
     } else if (arg == "--replay" && i + 1 < argc) {
       opts.replay_path = argv[++i];
+    } else if (arg == "--serve") {
+      opts.serve = true;
+    } else if (arg == "--cache-bytes" && i + 1 < argc) {
+      opts.cache_bytes = std::atoll(argv[++i]);
+    } else if (arg == "--max-retries" && i + 1 < argc) {
+      opts.max_retries = std::atoi(argv[++i]);
+    } else if (arg == "--retry-backoff-ms" && i + 1 < argc) {
+      opts.retry_backoff_ms = std::atoll(argv[++i]);
+    } else if (arg == "--inject" && i + 1 < argc) {
+      opts.inject_specs.emplace_back(argv[++i]);
     } else if (arg.rfind("--", 0) == 0) {
       return false;
     } else if (opts.input.empty()) {
@@ -152,7 +192,7 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       return false;
     }
   }
-  return !opts.input.empty() || !opts.batch_dir.empty();
+  return !opts.input.empty() || !opts.batch_dir.empty() || opts.serve;
 }
 
 int run_batch_mode(const CliOptions& opts) {
@@ -214,11 +254,61 @@ int run_batch_mode(const CliOptions& opts) {
   return report.failed_count == 0 ? 0 : 2;
 }
 
+int run_serve_mode(const CliOptions& opts) {
+  if (!opts.input.empty() || !opts.batch_dir.empty() || opts.fuzz_trials > 0 ||
+      !opts.replay_path.empty() || !opts.fuzz_out.empty() || opts.root ||
+      opts.c_source || opts.dot || opts.gantt || opts.json || opts.speculate) {
+    std::fprintf(stderr,
+                 "ftes_cli: --serve takes job requests on stdin; problem "
+                 "files and per-problem output flags are not available\n");
+    return 1;
+  }
+  if (opts.cache_bytes < 0 || opts.max_retries < 0 ||
+      opts.retry_backoff_ms < 0) {
+    std::fprintf(stderr,
+                 "ftes_cli: --cache-bytes/--max-retries/--retry-backoff-ms "
+                 "must be non-negative\n");
+    return 1;
+  }
+  std::vector<fi::FaultRule> rules;
+  for (const std::string& spec : opts.inject_specs) {
+    try {
+      rules.push_back(fi::parse_rule(spec));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ftes_cli: %s\n", e.what());
+      return 1;
+    }
+  }
+  fi::configure(std::move(rules));
+
+  serve::ServerOptions server;
+  server.threads = opts.threads;
+  server.default_seed = opts.seed;
+  server.default_iterations = opts.iterations;
+  server.cache_bytes = static_cast<std::size_t>(opts.cache_bytes);
+  server.max_retries = opts.max_retries;
+  server.retry_backoff_ms = opts.retry_backoff_ms;
+  serve::JobServer js(server);
+  js.serve(std::cin, std::cout);
+  fi::disarm();
+  // Draining the stream is success: job-level failures are reported
+  // in-band, per response, so one bad request cannot fail a service that
+  // answered it correctly.
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliOptions opts;
   if (!parse_args(argc, argv, opts)) return usage();
+  if (opts.serve) return run_serve_mode(opts);
+  if (!opts.inject_specs.empty()) {
+    // Only the server's soak harness injects faults; the one-shot modes
+    // have no retry story, so an armed seam would just corrupt results.
+    std::fprintf(stderr, "ftes_cli: --inject requires --serve\n");
+    return 1;
+  }
   if (opts.speculate && !opts.tables) {
     // Speculation only overlaps table generation: reject the combination
     // rather than silently ignore the flag.

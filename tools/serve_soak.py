@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""CI soak harness for `ftes_cli --serve` (docs/SERVER.md).
+
+Pipes a deterministic mixed stream of jobs -- valid, duplicated, garbage,
+malformed, zero-budget -- into one server process with fault injection
+armed on a fixed schedule, then asserts the robustness contract:
+
+  * the server exits 0 with exactly one well-formed JSON response per job,
+    in order, plus the final stats line;
+  * every response carries a status from the typed taxonomy;
+  * the mix deterministically exercises ok / parse_error / timed_out /
+    cancelled, retries happen, and the result cache serves hits;
+  * every armed fault site actually fired (no injected class went
+    unexercised);
+  * duplicate submissions that completed are answered byte-identically.
+
+Usage: tools/serve_soak.py <path-to-ftes_cli> [--jobs N]
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+PROBLEM = (
+    "arch nodes=2 slot=5\\nk 2\\ndeadline 600\\n"
+    "process P1 wcet N1=20 N2=30 alpha=5 mu=5 chi=5\\n"
+    "process P2 wcet N1=40 N2=60 alpha=5 mu=5 chi=5\\n"
+    "process P3 wcet N1=60 alpha=5 mu=5 chi=5\\n"
+    "message m1 P1 P2\\nmessage m2 P1 P3"
+)
+
+INJECT = [
+    "parse:throw:every=11",
+    "pipeline.stage:bad-alloc:every=13",
+    "serve.job:cancel:every=17",
+]
+
+
+def make_stream(jobs):
+    lines = []
+    for i in range(jobs):
+        kind = i % 5
+        if kind == 0:
+            lines.append(
+                f"job id=ok{i} seed={(i // 5) % 3} iterations=20 tables=0 "
+                f"text={PROBLEM}"
+            )
+        elif kind == 1:
+            lines.append(
+                f"job id=dup{i} seed=1 iterations=20 tables=0 text={PROBLEM}"
+            )
+        elif kind == 2:
+            lines.append(f"job id=garbage{i} text=k k k not a problem")
+        elif kind == 3:
+            lines.append(f"job id=malformed{i} seed=1")
+        else:
+            lines.append(
+                f"job id=budget{i} seed={1000 + i} tables=1 "
+                f"total-budget-ms=0 text={PROBLEM}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def raw_result(line):
+    """The raw `\"result\": ...` bytes of a response line ('' if absent)."""
+    at = line.find('"result": ')
+    return line[at:-1] if at >= 0 else ""
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("cli", help="path to the ftes_cli binary")
+    ap.add_argument("--jobs", type=int, default=200)
+    args = ap.parse_args()
+
+    cmd = [args.cli, "--serve", "--max-retries", "2"]
+    for spec in INJECT:
+        cmd += ["--inject", spec]
+    proc = subprocess.run(
+        cmd,
+        input=make_stream(args.jobs),
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"server exited {proc.returncode}\nstderr: {proc.stderr}"
+    )
+
+    lines = proc.stdout.splitlines()
+    assert len(lines) == args.jobs + 1, (
+        f"expected {args.jobs} responses + 1 stats line, got {len(lines)}"
+    )
+
+    taxonomy = {
+        "ok", "parse_error", "timed_out", "cancelled",
+        "resource_exhausted", "internal",
+    }
+    seen = {}
+    for i, line in enumerate(lines[:-1]):
+        response = json.loads(line)  # well-formed JSON, or this throws
+        assert response["status"] in taxonomy, line
+        seen.setdefault(response["status"], 0)
+        seen[response["status"]] += 1
+        # Responses arrive in request order: response i answers job i.
+        prefix = ["ok", "dup", "garbage", "malformed", "budget"][i % 5]
+        assert response["id"] == f"{prefix}{i}", f"line {i}: {response['id']}"
+
+    stats = json.loads(lines[-1])
+    assert stats["status"] == "stats", lines[-1]
+    assert stats["jobs"] == args.jobs, stats
+    assert stats["responses"] == args.jobs, stats
+    assert stats["ok"] > 0, stats
+    assert stats["parse_error"] > 0, stats
+    assert stats["timed_out"] > 0, stats
+    assert stats["cancelled"] > 0, stats
+    assert stats["retries"] > 0, stats
+    assert stats["cache"]["hits"] > 0, stats
+    assert stats["cache"]["bytes"] <= stats["cache"]["budget"], stats
+
+    fi = stats["fault_injection"]
+    for spec in INJECT:
+        site = spec.split(":")[0]
+        assert site in fi, f"site {site} never hit: {fi}"
+        assert fi[site]["fired"] > 0, f"site {site} never fired: {fi}"
+
+    payloads = {
+        raw_result(line)
+        for i, line in enumerate(lines[:-1])
+        if i % 5 == 1 and json.loads(line)["status"] == "ok"
+    }
+    assert payloads, "no duplicate job completed"
+    assert len(payloads) == 1, (
+        f"duplicate jobs answered with {len(payloads)} distinct payloads"
+    )
+
+    counts = ", ".join(f"{k}={v}" for k, v in sorted(seen.items()))
+    print(f"serve_soak: {args.jobs} jobs ok ({counts}; "
+          f"cache hits={stats['cache']['hits']}, "
+          f"retries={stats['retries']})")
+
+
+if __name__ == "__main__":
+    sys.exit(main())
