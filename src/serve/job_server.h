@@ -15,13 +15,29 @@
 //     dies and the stream position never desynchronizes.
 //   * Retry with capped exponential backoff for transient classes
 //     (internal, resource_exhausted); deterministic failures (parse
-//     errors) are never retried.  The attempt count is surfaced.
+//     errors) are never retried.  The attempt count and the total
+//     backoff slept are surfaced per response.
 //   * Graceful degradation: when a full-tables run exhausts its budget
 //     or memory, the job is retried analytic-WCSL-only (`degraded`:
 //     true) before giving up with an error response.
 //   * Structural result cache: completed, non-degraded results are
 //     cached under their canonical key (serve/result_cache.h) and repeat
 //     submissions are answered bit-identically without recomputation.
+//
+// Concurrency (`serve_jobs` > 1): the reader thread parses request lines
+// and dispatches independent jobs to the shared util/thread_pool; each
+// job runs in its own SynthesisContext whose CancellationToken chains to
+// the server-wide token, under a fi::JobScope so fault-injection
+// schedules stay a function of the job's stream index.  Responses flow
+// through a sequence-numbered reorder buffer, cache decisions pass a
+// sequence-ordered gate (with same-key jobs coalescing onto the first
+// in-flight computation), and cache mutations plus stats bumps are
+// replayed in sequence order at drain time -- so the output stream is
+// byte-identical to a serial run, wall-clock `seconds` aside (see
+// docs/SERVER.md for the exact guarantee and its one eviction-pressure
+// caveat).  A bounded in-flight window backpressures the reader;
+// `quit`/EOF/`stats` drain every in-flight job before emitting, so no
+// response is ever dropped.
 #pragma once
 
 #include <cstddef>
@@ -30,11 +46,13 @@
 #include <string>
 
 #include "serve/result_cache.h"
+#include "util/cancellation.h"
 
 namespace ftes::serve {
 
 struct ServerOptions {
   int threads = 1;                 ///< worker threads per job (0 = all)
+  int serve_jobs = 1;              ///< max concurrent in-flight jobs (>= 1)
   std::uint64_t default_seed = 1;  ///< seed when the request has none
   int default_iterations = 300;    ///< tabu iterations when none given
   std::size_t cache_bytes = 8u << 20;  ///< result-cache budget (0 = off)
@@ -72,28 +90,48 @@ class JobServer {
   /// for job-level failures; the caller owns stream lifetime.
   ServerStats serve(std::istream& in, std::ostream& out);
 
+  /// Cancels the server-wide parent token every job's context chains to:
+  /// in-flight jobs wind down cooperatively (well-formed `cancelled`
+  /// responses), so a transport can shut down without dropping lines.
+  void cancel_all() noexcept { server_token_.request_cancel(); }
+
   [[nodiscard]] const ServerOptions& options() const { return options_; }
 
   /// Opaque to callers (defined in job_server.cpp); public so the
   /// response-formatting helpers there can name them.
   struct Request;
   struct Outcome;
+  struct JobTrace;
+  class CacheConsult;
+  struct ServeState;
 
  private:
+
   /// Parses one `job ...` command line.  Returns false (with `error`
   /// filled) on malformed requests.
   static bool parse_request(const std::string& line, Request& req,
                             std::string& error);
   /// One synthesis attempt; never throws (every failure is classified
-  /// into the returned Outcome).
-  Outcome run_attempt(const Request& req, bool degraded);
-  /// The full job: cache lookup, attempt/retry/degradation loop, cache
-  /// insert.  Returns the complete response line (without newline).
-  std::string handle_job(const Request& req, ServerStats& stats);
+  /// into the returned Outcome).  The first attempt to compute the cache
+  /// key invokes `consult` exactly once (flagging `consulted`); a hit
+  /// short-circuits the attempt.
+  Outcome run_attempt(const Request& req, bool degraded, bool& consulted,
+                      CacheConsult& consult);
+  /// The full job: attempt/retry/degradation loop, insert-intent
+  /// recording, response formatting.  Cache *application* (the ordered
+  /// lookup/insert replay) is the caller's job -- immediate in serial
+  /// mode, at drain time in concurrent mode.
+  JobTrace handle_job(const Request& req, CacheConsult& consult);
+  /// Saturating capped exponential backoff before attempt `attempts`+1.
+  [[nodiscard]] long long backoff_delay_ms(int attempts) const;
+
+  ServerStats serve_serial(std::istream& in, std::ostream& out);
+  ServerStats serve_concurrent(std::istream& in, std::ostream& out);
   std::string stats_line(const ServerStats& stats) const;
 
   ServerOptions options_;
   ResultCache cache_;
+  CancellationToken server_token_;  ///< parent of every job's token
 };
 
 }  // namespace ftes::serve

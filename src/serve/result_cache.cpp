@@ -1,12 +1,11 @@
 #include "serve/result_cache.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdio>
 #include <sstream>
 #include <utility>
 #include <vector>
-
-#include "util/fault_injection.h"
 
 namespace ftes::serve {
 
@@ -72,7 +71,7 @@ std::string canonical_key(const Application& app, const Architecture& arch,
 }
 
 bool ResultCache::lookup(const std::string& key, std::string& payload) {
-  FTES_FAULT_POINT("cache.lookup");
+  const std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
@@ -84,28 +83,41 @@ bool ResultCache::lookup(const std::string& key, std::string& payload) {
   return true;
 }
 
+bool ResultCache::peek(const std::string& key, std::string& payload) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  payload = it->second->payload;
+  return true;
+}
+
 void ResultCache::insert(const std::string& key, const std::string& payload) {
-  FTES_FAULT_POINT("cache.insert");
+  const std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
-    // Refresh: by construction the payload of a given key never changes,
-    // but tolerate a caller that re-inserts after an eviction race.
+    // Refresh in place (by construction the payload of a given key never
+    // changes, but a caller may legitimately re-insert one that was
+    // evicted and recomputed).  The whole subtract-mutate-re-add runs
+    // under the one mutex, so the charge delta is applied atomically and
+    // the accounting can never observe a half-updated entry.
     bytes_used_ -= charge(*it->second);
     it->second->payload = payload;
     bytes_used_ += charge(*it->second);
     lru_.splice(lru_.begin(), lru_, it->second);
-    evict_until_within_budget();
+    evict_until_within_budget_locked();
+    assert(audit_locked());
     return;
   }
   Entry entry{key, payload};
   if (charge(entry) > budget_bytes_) return;  // can never fit
   bytes_used_ += charge(entry);
   lru_.push_front(std::move(entry));
-  entries_[key] = lru_.begin();
-  evict_until_within_budget();
+  entries_[lru_.begin()->key] = lru_.begin();
+  evict_until_within_budget_locked();
+  assert(audit_locked());
 }
 
-void ResultCache::evict_until_within_budget() {
+void ResultCache::evict_until_within_budget_locked() {
   while (bytes_used_ > budget_bytes_ && !lru_.empty()) {
     const Entry& victim = lru_.back();
     bytes_used_ -= charge(victim);
@@ -113,9 +125,52 @@ void ResultCache::evict_until_within_budget() {
     lru_.pop_back();
     ++evictions_;
   }
+  assert(audit_locked());
+}
+
+long long ResultCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+long long ResultCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+long long ResultCache::evictions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+std::size_t ResultCache::entry_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t ResultCache::bytes_used() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_used_;
+}
+
+bool ResultCache::audit() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return audit_locked();
+}
+
+bool ResultCache::audit_locked() const {
+  if (entries_.size() != lru_.size()) return false;
+  std::size_t live = 0;
+  for (const Entry& e : lru_) {
+    const auto it = entries_.find(e.key);
+    if (it == entries_.end() || &*it->second != &e) return false;
+    live += charge(e);
+  }
+  return live == bytes_used_ && bytes_used_ <= budget_bytes_;
 }
 
 StageMetrics ResultCache::metrics() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   StageMetrics m;
   m.stage = "result_cache";
   m.result_cache_hits = hits_;

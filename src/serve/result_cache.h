@@ -19,10 +19,21 @@
 // least-recently-used tail, and an entry larger than the whole budget is
 // not stored at all.  Counters surface through a StageMetrics
 // ("result_cache" pseudo-stage) in the server's stats report.
+//
+// Thread safety: every operation -- lookup, peek, insert (including the
+// duplicate-key refresh), eviction and every counter read -- holds the
+// one internal mutex, so `bytes_used_` always equals the sum of the live
+// entries' charges (asserted after every mutation; audit() exposes the
+// same check to tests).  The fault-injection seams for `cache.lookup` /
+// `cache.insert` live in the *caller* (serve/job_server.cpp), not here:
+// the server replays cache mutations in request-sequence order, and an
+// injected fault must fire on the job's own thread where it can be
+// classified and retried, not during that ordered replay.
 #pragma once
 
 #include <cstddef>
 #include <list>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -49,17 +60,29 @@ class ResultCache {
   /// counts a miss and leaves `payload` untouched.
   [[nodiscard]] bool lookup(const std::string& key, std::string& payload);
 
+  /// Read-only probe: copies the payload on a hit but refreshes nothing
+  /// and counts nothing.  The concurrent server uses it to *predict* the
+  /// sequence-ordered lookup it will replay later.
+  [[nodiscard]] bool peek(const std::string& key, std::string& payload) const;
+
   /// Inserts (or refreshes) `key` -> `payload`, evicting LRU entries
   /// until the byte budget holds.  A payload that cannot fit even in an
   /// empty cache is dropped (counted as neither insert nor eviction).
   void insert(const std::string& key, const std::string& payload);
 
-  [[nodiscard]] long long hits() const { return hits_; }
-  [[nodiscard]] long long misses() const { return misses_; }
-  [[nodiscard]] long long evictions() const { return evictions_; }
-  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
-  [[nodiscard]] std::size_t bytes_used() const { return bytes_used_; }
+  [[nodiscard]] long long hits() const;
+  [[nodiscard]] long long misses() const;
+  [[nodiscard]] long long evictions() const;
+  [[nodiscard]] std::size_t entry_count() const;
+  [[nodiscard]] std::size_t bytes_used() const;
   [[nodiscard]] std::size_t budget_bytes() const { return budget_bytes_; }
+
+  /// True iff the byte accounting is exact right now: bytes_used()
+  /// equals the sum of the live entries' charges, the map and the LRU
+  /// list agree, and the budget holds.  Always compiled in (the
+  /// concurrent hammering tests call it); the internal assert form runs
+  /// after every mutation in debug builds.
+  [[nodiscard]] bool audit() const;
 
   /// The counters as a "result_cache" pseudo-stage for stats reports.
   [[nodiscard]] StageMetrics metrics() const;
@@ -74,12 +97,14 @@ class ResultCache {
   [[nodiscard]] static std::size_t charge(const Entry& e) {
     return e.key.size() + e.payload.size() + kEntryOverhead;
   }
-  void evict_until_within_budget();
+  void evict_until_within_budget_locked();
+  [[nodiscard]] bool audit_locked() const;
 
   /// Flat accounting charge per entry for the list/map bookkeeping.
   static constexpr std::size_t kEntryOverhead = 64;
 
-  std::size_t budget_bytes_;
+  const std::size_t budget_bytes_;
+  mutable std::mutex mutex_;  ///< one lock over every op and counter
   std::size_t bytes_used_ = 0;
   LruList lru_;  ///< front = most recently used
   std::unordered_map<std::string, LruList::iterator> entries_;

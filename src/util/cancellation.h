@@ -54,6 +54,13 @@ class CancellationToken {
   /// outlive this token.  Cancelling the child does not touch the parent.
   explicit CancellationToken(CancellationToken* parent) : parent_(parent) {}
 
+  /// Late parent attachment for tokens whose owner constructs them (e.g.
+  /// a SynthesisContext inside a server job chaining to the server-wide
+  /// shutdown token).  Must be called before the token is shared with
+  /// other threads: parent_ is an unsynchronized pointer, published by
+  /// whatever handoff starts those threads.
+  void set_parent(CancellationToken* parent) noexcept { parent_ = parent; }
+
   CancellationToken(const CancellationToken&) = delete;
   CancellationToken& operator=(const CancellationToken&) = delete;
 

@@ -23,6 +23,9 @@ struct Registry {
 
 std::atomic<bool> g_armed{false};
 
+/// The innermost JobScope of the current thread (nullptr outside a job).
+thread_local JobScope* t_scope = nullptr;
+
 Registry& registry() {
   static Registry r;
   return r;
@@ -122,6 +125,13 @@ std::map<std::string, SiteStats> stats() {
 
 bool armed() noexcept { return g_armed.load(std::memory_order_relaxed); }
 
+JobScope::JobScope(std::uint64_t job_index)
+    : prev_(t_scope), job_index_(job_index) {
+  t_scope = this;
+}
+
+JobScope::~JobScope() { t_scope = prev_; }
+
 void hit_armed(const char* site) {
   Registry& reg = registry();
   FaultKind fire_kind = FaultKind::kThrow;
@@ -131,14 +141,24 @@ void hit_armed(const char* site) {
     std::lock_guard<std::mutex> lock(reg.mutex);
     if (reg.rules.empty()) return;  // disarmed between the load and here
     SiteStats& st = reg.sites[site];
-    const std::uint64_t hit_number = st.hits++;
-    for (RuleState& rs : reg.rules) {
+    JobScope* scope = t_scope;
+    // With a scope the schedule key depends only on the job's stream
+    // index and the job's own trace, never on cross-job interleaving;
+    // the global counter keeps aggregating for the stats() sums.
+    const std::uint64_t hit_number =
+        scope != nullptr ? scope->job_index_ + scope->local_hits_[site]++
+                         : st.hits;
+    ++st.hits;
+    for (std::size_t i = 0; i < reg.rules.size(); ++i) {
+      RuleState& rs = reg.rules[i];
       if (rs.rule.site != site) continue;
       if (hit_number % rs.rule.every != rs.rule.offset % rs.rule.every) {
         continue;
       }
-      if (rs.rule.limit != 0 && rs.fired >= rs.rule.limit) continue;
-      ++rs.fired;
+      std::uint64_t& fired_budget =
+          scope != nullptr ? scope->rule_fired_[i] : rs.fired;
+      if (rs.rule.limit != 0 && fired_budget >= rs.rule.limit) continue;
+      ++fired_budget;
       ++st.fired;
       fire = true;
       fire_kind = rs.rule.kind;

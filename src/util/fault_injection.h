@@ -19,6 +19,18 @@
 // so a single-threaded replay of the same request stream injects the
 // same faults at the same points.
 //
+// Job-scoped determinism: with concurrent in-flight jobs (`--serve-jobs
+// N`) the *global* per-site counters would interleave nondeterministically
+// across jobs.  A thread installs a JobScope(job_index) around one job's
+// work; while it is active, the schedule key for a hit becomes
+// `job_index + per-site hit number within this scope` and `limit` is
+// charged per scope, so whether a given hit fires depends only on the
+// job's index in the request stream and the job's own execution trace --
+// never on how jobs overlap.  Global SiteStats still aggregate every hit
+// and fire (the sums are interleaving-independent).  Threads without a
+// scope (unit tests, parallel_for helpers inside a job) keep the global
+// counter schedule.
+//
 // Defining FTES_FI_DISABLED (CMake option FTES_FAULT_INJECTION=OFF)
 // compiles every seam to `((void)0)`.
 #pragma once
@@ -82,6 +94,30 @@ void hit_armed(const char* site);
 inline void hit(const char* site) {
   if (armed()) hit_armed(site);
 }
+
+/// RAII per-job determinism scope (see the header comment).  While alive
+/// on a thread, hits on that thread match rules against
+/// `job_index + local per-site hit number` instead of the global per-site
+/// counter, and rule limits are charged per scope.  Scopes may nest
+/// (restores the previous scope on destruction); they are thread-local,
+/// so a scope does not cover parallel_for helper threads spawned inside
+/// the job.
+class JobScope {
+ public:
+  explicit JobScope(std::uint64_t job_index);
+  ~JobScope();
+
+  JobScope(const JobScope&) = delete;
+  JobScope& operator=(const JobScope&) = delete;
+
+ private:
+  friend void hit_armed(const char* site);
+
+  JobScope* prev_;
+  std::uint64_t job_index_;
+  std::map<std::string, std::uint64_t> local_hits_;  ///< per-site, this job
+  std::map<std::size_t, std::uint64_t> rule_fired_;  ///< per rule index
+};
 
 }  // namespace ftes::fi
 

@@ -252,11 +252,20 @@ TEST(JobServer, InjectedCancellationIsTypedNotRetried) {
 // a deterministic schedule.  Every request gets exactly one well-formed
 // response, every taxonomy class and fault kind is exercised, and the
 // duplicate jobs that complete are answered bit-identically.
+//
+// Fault schedules are matched per job (fi::JobScope): a hit's schedule
+// key is the job's stream index plus its own per-site hit count, and
+// `limit` is charged per job.  Only a handful of jobs in this stream
+// ever run the pipeline (the rest are cache hits, parse failures or
+// zero-budget jobs that cancel before the stage seam), so the
+// pipeline.stage rule uses every=3:limit=1 -- each pipeline-running job
+// takes exactly one bad_alloc somewhere in its three stage hits and
+// then completes on retry.
 TEST(JobServerSoak, FiveHundredFaultInjectedJobsNeverKillTheServer) {
   const DisarmGuard guard;
   fi::configure({
       fi::parse_rule("parse:throw:every=11"),
-      fi::parse_rule("pipeline.stage:bad-alloc:every=13"),
+      fi::parse_rule("pipeline.stage:bad-alloc:every=3:limit=1"),
       fi::parse_rule("serve.job:cancel:every=17"),
   });
 

@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/synthesis.h"
 #include "io/app_parser.h"
@@ -157,6 +160,88 @@ TEST(ResultCache, ZeroBudgetDisablesStorage) {
   std::string out;
   EXPECT_FALSE(cache.lookup("k", out));
   EXPECT_EQ(cache.entry_count(), 0u);
+}
+
+// ------------------------------------------------------------ threading --
+
+// Regression for the duplicate-key insert accounting: the whole
+// subtract-mutate-re-add of a refresh runs under one lock, so hammering
+// the same keys with different-size payloads from many threads can never
+// drift `bytes_used_` away from the sum of the live entries' charges.
+// Before the fix, a concurrent refresh could interleave with a lookup or
+// an eviction between the subtract and the re-add and leave the budget
+// accounting permanently wrong (negative/overflowed bytes, or a cache
+// that never evicts again).
+TEST(ResultCache, ConcurrentHammeringKeepsByteAccountingExact) {
+  // Small budget so insertions constantly evict while other threads
+  // look up and refresh: the worst interleaving pressure on the
+  // accounting.
+  ResultCache cache(600);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, &failed, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key = "k" + std::to_string((t + i) % 7);
+        switch (i % 4) {
+          case 0:  // fresh or duplicate-key insert, varying charge
+            cache.insert(key, std::string(static_cast<std::size_t>(i % 90),
+                                          'p'));
+            break;
+          case 1: {  // lookup refreshes recency under the insert storm
+            std::string out;
+            (void)cache.lookup(key, out);
+            break;
+          }
+          case 2:  // oversized: must be dropped without touching state
+            cache.insert(key, std::string(1000, 'x'));
+            break;
+          default: {  // read-only probe alongside the mutations
+            std::string out;
+            (void)cache.peek(key, out);
+            break;
+          }
+        }
+        if (!cache.audit()) {
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_FALSE(failed.load()) << "byte accounting diverged from the live "
+                                 "entries' charges under concurrency";
+  EXPECT_TRUE(cache.audit());
+  EXPECT_LE(cache.bytes_used(), cache.budget_bytes());
+}
+
+// The degenerate budgets under the same concurrent load: a zero budget
+// stores nothing (every insert is a no-op, every lookup a miss) and the
+// accounting invariant still holds trivially.
+TEST(ResultCache, ZeroBudgetStaysEmptyUnderConcurrentInserts) {
+  ResultCache cache(0);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        cache.insert("k" + std::to_string(i % 5),
+                     std::string(static_cast<std::size_t>(t + 1), 'z'));
+        std::string out;
+        (void)cache.lookup("k" + std::to_string(i % 5), out);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_TRUE(cache.audit());
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.bytes_used(), 0u);
+  EXPECT_EQ(cache.hits(), 0);
 }
 
 TEST(ResultCache, MetricsSurfaceAsResultCachePseudoStage) {

@@ -50,6 +50,11 @@
 //                       requests from stdin, answer one JSON line each
 //                       (docs/SERVER.md); job failures are reported
 //                       in-band, never through the exit status
+//   --serve-jobs <n>    --serve: max concurrently in-flight jobs
+//                       (default 1: serial; 0 = one per hardware thread).
+//                       The response stream is byte-identical to
+//                       --serve-jobs 1 apart from the wall-clock
+//                       `seconds` field (docs/SERVER.md)
 //   --cache-bytes <n>   --serve: result-cache byte budget (default 8 MiB;
 //                       0 disables the cache)
 //   --max-retries <n>   --serve: extra attempts for transient job failures
@@ -115,6 +120,7 @@ struct CliOptions {
   std::string fuzz_out;
   std::string replay_path;
   bool serve = false;
+  int serve_jobs = 1;
   long long cache_bytes = 8ll << 20;
   int max_retries = 2;
   long long retry_backoff_ms = 0;
@@ -132,8 +138,9 @@ int usage() {
                "[--threads n] [--stage-budget-ms n] [--total-budget-ms n] "
                "[--json] [--fuzz n] [--fuzz-seed n]\n"
                "       ftes_cli --serve [--seed n] [--iterations n] "
-               "[--threads n] [--cache-bytes n] [--max-retries n] "
-               "[--retry-backoff-ms n] [--inject spec]...\n");
+               "[--threads n] [--serve-jobs n] [--cache-bytes n] "
+               "[--max-retries n] [--retry-backoff-ms n] "
+               "[--inject spec]...\n");
   return 1;
 }
 
@@ -176,6 +183,8 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       opts.replay_path = argv[++i];
     } else if (arg == "--serve") {
       opts.serve = true;
+    } else if (arg == "--serve-jobs" && i + 1 < argc) {
+      opts.serve_jobs = std::atoi(argv[++i]);
     } else if (arg == "--cache-bytes" && i + 1 < argc) {
       opts.cache_bytes = std::atoll(argv[++i]);
     } else if (arg == "--max-retries" && i + 1 < argc) {
@@ -270,6 +279,12 @@ int run_serve_mode(const CliOptions& opts) {
                  "must be non-negative\n");
     return 1;
   }
+  if (opts.serve_jobs < 0) {
+    std::fprintf(stderr,
+                 "ftes_cli: --serve-jobs must be >= 0 (0 = one job per "
+                 "hardware thread)\n");
+    return 1;
+  }
   std::vector<fi::FaultRule> rules;
   for (const std::string& spec : opts.inject_specs) {
     try {
@@ -283,6 +298,8 @@ int run_serve_mode(const CliOptions& opts) {
 
   serve::ServerOptions server;
   server.threads = opts.threads;
+  server.serve_jobs =
+      opts.serve_jobs == 0 ? resolve_threads(0) : opts.serve_jobs;
   server.default_seed = opts.seed;
   server.default_iterations = opts.iterations;
   server.cache_bytes = static_cast<std::size_t>(opts.cache_bytes);

@@ -14,11 +14,17 @@ armed on a fixed schedule, then asserts the robustness contract:
     unexercised);
   * duplicate submissions that completed are answered byte-identically.
 
-Usage: tools/serve_soak.py <path-to-ftes_cli> [--jobs N]
+With --serve-jobs N (N > 1) the same stream additionally runs through a
+concurrent server, and its output must be byte-identical to the serial
+run modulo the wall-clock `seconds` field -- the --serve-jobs ordering
+and determinism guarantee (docs/SERVER.md).
+
+Usage: tools/serve_soak.py <path-to-ftes_cli> [--jobs N] [--serve-jobs N]
 """
 
 import argparse
 import json
+import re
 import subprocess
 import sys
 
@@ -30,9 +36,13 @@ PROBLEM = (
     "message m1 P1 P2\\nmessage m2 P1 P3"
 )
 
+# Fault schedules are matched per job (job stream index + the job's own
+# per-site hit count; see util/fault_injection.h), so the pipeline.stage
+# rule fires once per pipeline-running job rather than on a global
+# every-Nth-hit cadence.
 INJECT = [
     "parse:throw:every=11",
-    "pipeline.stage:bad-alloc:every=13",
+    "pipeline.stage:bad-alloc:every=3:limit=1",
     "serve.job:cancel:every=17",
 ]
 
@@ -68,31 +78,32 @@ def raw_result(line):
     return line[at:-1] if at >= 0 else ""
 
 
-def main():
-    ap = argparse.ArgumentParser()
-    ap.add_argument("cli", help="path to the ftes_cli binary")
-    ap.add_argument("--jobs", type=int, default=200)
-    args = ap.parse_args()
+def normalize_seconds(text):
+    """Blanks the one wall-clock field of every response line."""
+    return re.sub(r'"seconds": [0-9.eE+-]+', '"seconds": _', text)
 
-    cmd = [args.cli, "--serve", "--max-retries", "2"]
+
+def run_server(cli, stream, serve_jobs):
+    cmd = [cli, "--serve", "--max-retries", "2"]
+    if serve_jobs > 1:
+        cmd += ["--serve-jobs", str(serve_jobs)]
     for spec in INJECT:
         cmd += ["--inject", spec]
     proc = subprocess.run(
         cmd,
-        input=make_stream(args.jobs),
+        input=stream,
         capture_output=True,
         text=True,
         timeout=600,
     )
     assert proc.returncode == 0, (
-        f"server exited {proc.returncode}\nstderr: {proc.stderr}"
+        f"server (serve_jobs={serve_jobs}) exited {proc.returncode}\n"
+        f"stderr: {proc.stderr}"
     )
+    return proc.stdout
 
-    lines = proc.stdout.splitlines()
-    assert len(lines) == args.jobs + 1, (
-        f"expected {args.jobs} responses + 1 stats line, got {len(lines)}"
-    )
 
+def check_contract(lines, jobs, label):
     taxonomy = {
         "ok", "parse_error", "timed_out", "cancelled",
         "resource_exhausted", "internal",
@@ -100,45 +111,104 @@ def main():
     seen = {}
     for i, line in enumerate(lines[:-1]):
         response = json.loads(line)  # well-formed JSON, or this throws
-        assert response["status"] in taxonomy, line
+        assert response["status"] in taxonomy, f"{label}: {line}"
         seen.setdefault(response["status"], 0)
         seen[response["status"]] += 1
         # Responses arrive in request order: response i answers job i.
         prefix = ["ok", "dup", "garbage", "malformed", "budget"][i % 5]
-        assert response["id"] == f"{prefix}{i}", f"line {i}: {response['id']}"
+        assert response["id"] == f"{prefix}{i}", (
+            f"{label} line {i}: {response['id']}"
+        )
 
     stats = json.loads(lines[-1])
-    assert stats["status"] == "stats", lines[-1]
-    assert stats["jobs"] == args.jobs, stats
-    assert stats["responses"] == args.jobs, stats
-    assert stats["ok"] > 0, stats
-    assert stats["parse_error"] > 0, stats
-    assert stats["timed_out"] > 0, stats
-    assert stats["cancelled"] > 0, stats
-    assert stats["retries"] > 0, stats
-    assert stats["cache"]["hits"] > 0, stats
-    assert stats["cache"]["bytes"] <= stats["cache"]["budget"], stats
+    assert stats["status"] == "stats", f"{label}: {lines[-1]}"
+    assert stats["jobs"] == jobs, f"{label}: {stats}"
+    assert stats["responses"] == jobs, f"{label}: {stats}"
+    classes = (
+        stats["ok"] + stats["parse_error"] + stats["timed_out"]
+        + stats["cancelled"] + stats["resource_exhausted"] + stats["internal"]
+    )
+    assert classes == jobs, f"{label}: taxonomy sum {classes} != {jobs}"
+    assert stats["ok"] > 0, f"{label}: {stats}"
+    assert stats["parse_error"] > 0, f"{label}: {stats}"
+    assert stats["timed_out"] > 0, f"{label}: {stats}"
+    assert stats["cancelled"] > 0, f"{label}: {stats}"
+    assert stats["retries"] > 0, f"{label}: {stats}"
+    assert stats["cache"]["hits"] > 0, f"{label}: {stats}"
+    assert stats["cache"]["bytes"] <= stats["cache"]["budget"], (
+        f"{label}: {stats}"
+    )
 
     fi = stats["fault_injection"]
     for spec in INJECT:
         site = spec.split(":")[0]
-        assert site in fi, f"site {site} never hit: {fi}"
-        assert fi[site]["fired"] > 0, f"site {site} never fired: {fi}"
+        assert site in fi, f"{label}: site {site} never hit: {fi}"
+        assert fi[site]["fired"] > 0, f"{label}: site {site} never fired: {fi}"
 
     payloads = {
         raw_result(line)
         for i, line in enumerate(lines[:-1])
         if i % 5 == 1 and json.loads(line)["status"] == "ok"
     }
-    assert payloads, "no duplicate job completed"
+    assert payloads, f"{label}: no duplicate job completed"
     assert len(payloads) == 1, (
-        f"duplicate jobs answered with {len(payloads)} distinct payloads"
+        f"{label}: duplicate jobs answered with {len(payloads)} distinct "
+        f"payloads"
     )
+    return seen, stats
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("cli", help="path to the ftes_cli binary")
+    ap.add_argument("--jobs", type=int, default=200)
+    ap.add_argument(
+        "--serve-jobs", type=int, default=0,
+        help="additionally run the stream through a concurrent server of "
+             "this width and byte-diff its output against the serial run",
+    )
+    args = ap.parse_args()
+
+    stream = make_stream(args.jobs)
+    serial_out = run_server(args.cli, stream, serve_jobs=1)
+    lines = serial_out.splitlines()
+    assert len(lines) == args.jobs + 1, (
+        f"expected {args.jobs} responses + 1 stats line, got {len(lines)}"
+    )
+    seen, stats = check_contract(lines, args.jobs, "serial")
+
+    diffed = ""
+    if args.serve_jobs > 1:
+        concurrent_out = run_server(args.cli, stream, args.serve_jobs)
+        check_contract(
+            concurrent_out.splitlines(), args.jobs,
+            f"serve-jobs={args.serve_jobs}",
+        )
+        want = normalize_seconds(serial_out)
+        got = normalize_seconds(concurrent_out)
+        if want != got:
+            for n, (a, b) in enumerate(
+                zip(want.splitlines(), got.splitlines())
+            ):
+                if a != b:
+                    sys.stderr.write(
+                        f"first divergence at line {n}:\n"
+                        f"  serial:     {a}\n"
+                        f"  concurrent: {b}\n"
+                    )
+                    break
+            raise AssertionError(
+                f"--serve-jobs {args.serve_jobs} output is not "
+                f"byte-identical to the serial run (modulo seconds)"
+            )
+        diffed = (
+            f"; serve-jobs={args.serve_jobs} byte-identical modulo seconds"
+        )
 
     counts = ", ".join(f"{k}={v}" for k, v in sorted(seen.items()))
     print(f"serve_soak: {args.jobs} jobs ok ({counts}; "
           f"cache hits={stats['cache']['hits']}, "
-          f"retries={stats['retries']})")
+          f"retries={stats['retries']}{diffed})")
 
 
 if __name__ == "__main__":
