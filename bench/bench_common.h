@@ -129,6 +129,18 @@ inline void add_total_entry(BenchReport& report, const EvalStats& total,
                static_cast<double>(total.rebase_log_events_resumed));
   entry.metric("rebase_full_builds",
                static_cast<double>(total.rebase_full_builds));
+  // Copy-on-write snapshot storage: prefix snapshots adopted by reference
+  // vs bytes materialized (CI asserts the fig7 sweep shares some and that
+  // per-rebase bytes grow sublinearly with problem size).
+  entry.metric("rebase_batched", static_cast<double>(total.rebase_batched));
+  entry.metric("rebase_interval_mismatch",
+               static_cast<double>(total.rebase_interval_mismatch));
+  entry.metric("snapshot_refs_shared",
+               static_cast<double>(total.snapshot_refs_shared));
+  entry.metric("snapshot_bytes_copied",
+               static_cast<double>(total.snapshot_bytes_copied));
+  entry.metric("snapshot_bytes_shared",
+               static_cast<double>(total.snapshot_bytes_shared));
 }
 
 }  // namespace ftes::bench

@@ -222,6 +222,40 @@ BENCHMARK(BM_RebaseLogRerecord)
     ->Args({100, 1})
     ->Args({100, 0});
 
+// Copy-on-write snapshot sharing: the same record-while-resuming rebase as
+// BM_RebaseLogRerecord, with its prefix-snapshot traffic surfaced as
+// deterministic per-rebase counters -- prefix snapshots adopted by
+// reference (zero bytes) vs bytes actually materialized (the changed
+// suffix).  Across the 50 -> 100 sizes, bytes_copied_per_rebase growing
+// slower than the schedule's event count is the sublinearity the CI ratio
+// check on the fig7 sweep asserts at full scale.
+void BM_RebaseSnapshotShare(benchmark::State& state) {
+  const MoveSetup ms =
+      make_move_setup(static_cast<int>(state.range(0)), state.range(1) != 0);
+  ScheduleCheckpointLog fresh;
+  int flip = 0;
+  double bytes = 0.0;
+  double shared = 0.0;
+  double rebases = 0.0;
+  for (auto _ : state) {
+    ListScheduleResumeStats rstats;
+    benchmark::DoNotOptimize(list_schedule_resume(
+        ms.s.app, ms.s.arch, ms.s.assignment, ms.log, ms.candidates[flip ^= 1],
+        ms.pid, &rstats, &fresh));
+    bytes += static_cast<double>(rstats.snapshot_bytes_copied);
+    shared += static_cast<double>(rstats.snapshots_shared);
+    rebases += 1.0;
+  }
+  if (rebases > 0) {
+    state.counters["bytes_copied_per_rebase"] = bytes / rebases;
+    state.counters["refs_shared_per_rebase"] = shared / rebases;
+  }
+}
+BENCHMARK(BM_RebaseSnapshotShare)
+    ->Args({50, 1})
+    ->Args({100, 1})
+    ->Args({100, 0});
+
 // ---------------------------------------------------------------------------
 // Ready-set management: the production heap-based scheduler vs the
 // historical O(V^2) linear ready-scan (kept here as a reference so the
@@ -299,6 +333,9 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
       e.wall_seconds = ns * static_cast<double>(run.iterations) * 1e-9;
       e.metric("ns_per_op", ns);
       e.metric("iterations", static_cast<double>(run.iterations));
+      for (const auto& [counter_name, counter] : run.counters) {
+        e.metric(counter_name, static_cast<double>(counter));
+      }
     }
   }
 
@@ -340,11 +377,15 @@ int main(int argc, char** argv) {
   ftes::bench::BenchReport report;
   report.bench = "micro_benchmarks";
   benchmark::RunAllPlainBenchmarks(
-      [&](const std::string& name, double ns, std::int64_t iters) {
+      [&](const std::string& name, double ns, std::int64_t iters,
+          const std::map<std::string, double>& counters) {
         ftes::bench::BenchReport::Entry& e = report.add(name);
         e.wall_seconds = ns * static_cast<double>(iters) * 1e-9;
         e.metric("ns_per_op", ns);
         e.metric("iterations", static_cast<double>(iters));
+        for (const auto& [counter_name, value] : counters) {
+          e.metric(counter_name, value);
+        }
       });
   if (json_path) report.write(json_path);
   return 0;

@@ -109,6 +109,11 @@ class CheckpointDescentProblem final : public SearchProblem {
     return eval_.rebase(current).makespan;
   }
 
+  Time commit_accept(const PolicyAssignment& current,
+                     const Move& accepted) override {
+    return eval_.rebase(current, accepted.pid).makespan;
+  }
+
  private:
   EvalContext& eval_;
   std::vector<std::pair<ProcessId, int>> targets_;

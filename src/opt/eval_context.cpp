@@ -1,6 +1,7 @@
 #include "opt/eval_context.h"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 #include <utility>
 
@@ -144,22 +145,49 @@ void EvalContext::invalidate_winner_cache() {
   best_span_ = CacheEntry{};
 }
 
-void EvalContext::rebuild_base_schedule(const PolicyAssignment& base) {
-  // Accepted-move fast path: a new base differing from the old in exactly
-  // one plan replays that move from the old log's nearest safe snapshot
-  // while recording the new base's log (record-while-resuming) -- the
-  // resulting schedule AND log are bit-identical to a from-scratch build.
-  std::int32_t diff_pid = -1;
-  if (base_has_log_ && base.process_count() == base_.process_count()) {
-    int diffs = 0;
-    for (int i = 0; i < base.process_count() && diffs <= 1; ++i) {
-      if (base.plan(ProcessId{i}) != base_.plan(ProcessId{i})) {
-        diff_pid = i;
-        ++diffs;
-      }
+std::int32_t EvalContext::single_diff_pid(const PolicyAssignment& base,
+                                          ProcessId accepted) const {
+  if (base.process_count() != base_.process_count()) return -1;
+  if (accepted.valid()) {
+#ifndef NDEBUG
+    // The hint is a promise, not a request: nothing but `accepted` changed.
+    for (int i = 0; i < base.process_count(); ++i) {
+      assert(i == accepted.get() ||
+             base.plan(ProcessId{i}) == base_.plan(ProcessId{i}));
     }
-    if (diffs != 1) diff_pid = -1;
+#endif
+    return base.plan(accepted) != base_.plan(accepted) ? accepted.get() : -1;
   }
+  std::int32_t diff_pid = -1;
+  int diffs = 0;
+  for (int i = 0; i < base.process_count() && diffs <= 1; ++i) {
+    if (base.plan(ProcessId{i}) != base_.plan(ProcessId{i})) {
+      diff_pid = i;
+      ++diffs;
+    }
+  }
+  return diffs == 1 ? diff_pid : -1;
+}
+
+void EvalContext::anchor_grand_base(const PolicyAssignment& base,
+                                    const ScheduleCheckpointLog& log) {
+  grand_base_ = base;
+  grand_log_ = log;  // the copy shares snapshot refs -- O(E) indices, 0
+                     // snapshot bytes
+  pending_.clear();
+  grand_valid_ = true;
+}
+
+void EvalContext::rebuild_base_schedule(const PolicyAssignment& base,
+                                        ProcessId accepted) {
+  // Accepted-move fast path: a new base differing from the old in exactly
+  // one plan replays the whole pending batch of accepted moves from the
+  // grand-base log's nearest safe snapshot while recording the new base's
+  // log (record-while-resuming) -- the resulting schedule AND log are
+  // bit-identical to a from-scratch build, and the log's prefix snapshots
+  // are shared with the grand anchor's by reference.
+  std::int32_t diff_pid =
+      base_has_log_ ? single_diff_pid(base, accepted) : -1;
   // A resume-recorded log inherits the old base's snapshot interval; take
   // the fast path only when that equals the interval a default from-scratch
   // rebuild would pick for the new base (the common case -- single-plan
@@ -168,52 +196,73 @@ void EvalContext::rebuild_base_schedule(const PolicyAssignment& base) {
   // rebuild it replaces.
   if (diff_pid >= 0 &&
       default_snapshot_interval(app_, base) != base_log_.snapshot_interval) {
+    rebase_interval_mismatch_.fetch_add(1, std::memory_order_relaxed);
     diff_pid = -1;
   }
   if (diff_pid >= 0) {
+    // Extend the batched run, or open a fresh one anchored at the still-
+    // current base when none exists or the window is full (unbounded runs
+    // would push the shared resume point toward event 0).
+    if (!grand_valid_ || pending_.size() >= kRebaseBatchWindow) {
+      anchor_grand_base(base_, base_log_);
+    }
+    pending_.push_back(ProcessId{diff_pid});
     ScheduleCheckpointLog new_log;
     ListScheduleResumeStats rstats;
     ListSchedule sched =
-        list_schedule_resume(app_, arch_, base_, base_log_, base,
-                             ProcessId{diff_pid}, &rstats, &new_log);
+        list_schedule_resume(app_, arch_, grand_base_, grand_log_, base,
+                             pending_, &rstats, &new_log);
     base_sched_ = std::move(sched);
     base_log_ = std::move(new_log);
+    if (pending_.size() > 1) {
+      rebase_batched_.fetch_add(1, std::memory_order_relaxed);
+    }
+    snapshot_refs_shared_.fetch_add(
+        static_cast<long long>(rstats.snapshots_shared),
+        std::memory_order_relaxed);
+    snapshot_bytes_copied_.fetch_add(
+        static_cast<long long>(rstats.snapshot_bytes_copied),
+        std::memory_order_relaxed);
+    snapshot_bytes_shared_.fetch_add(
+        static_cast<long long>(rstats.snapshot_bytes_shared),
+        std::memory_order_relaxed);
     if (rstats.resumed) {
       rebase_log_recorded_.fetch_add(1, std::memory_order_relaxed);
       rebase_log_events_resumed_.fetch_add(
           static_cast<long long>(rstats.events_resumed),
           std::memory_order_relaxed);
+      rebase_log_events_replayed_.fetch_add(
+          static_cast<long long>(rstats.events_replayed),
+          std::memory_order_relaxed);
     } else {
-      // No snapshot preceded the first affected event: the recording run
-      // degenerated to a (still log-producing) full build.
+      // No snapshot preceded the batch's first affected event: the
+      // recording run degenerated to a (still log-producing) full build.
+      // Re-anchor so the next acceptance starts a fresh window instead of
+      // shrinking this one's resume point further.
       rebase_full_builds_.fetch_add(1, std::memory_order_relaxed);
+      anchor_grand_base(base, base_log_);
     }
   } else {
     base_sched_ = list_schedule(app_, arch_, base, base_log_);
     rebase_full_builds_.fetch_add(1, std::memory_order_relaxed);
+    anchor_grand_base(base, base_log_);
   }
   base_has_log_ = true;
 }
 
-EvalContext::Outcome EvalContext::rebase(const PolicyAssignment& base) {
+EvalContext::Outcome EvalContext::rebase(const PolicyAssignment& base,
+                                         ProcessId accepted) {
   const int k = model_.k;
 
   // Winning-move cache: when the new base is the old base with exactly one
   // plan replaced, and that (process, plan) matches a cached candidate,
   // adopt the candidate's DAG + DP rows wholesale.  Only the fault-free
-  // schedule remains -- rebuilt by record-while-resuming from the old log
-  // (its checkpoint log must describe the new base) -- so the accept step
-  // pays neither the DP nor a from-scratch schedule build.
-  if (base_has_dp_ && base.process_count() == base_.process_count()) {
-    std::int32_t diff_pid = -1;
-    int diffs = 0;
-    for (int i = 0; i < base.process_count() && diffs <= 1; ++i) {
-      if (base.plan(ProcessId{i}) != base_.plan(ProcessId{i})) {
-        diff_pid = i;
-        ++diffs;
-      }
-    }
-    if (diffs == 1) {
+  // schedule remains -- rebuilt by record-while-resuming from the grand
+  // log (its checkpoint log must describe the new base) -- so the accept
+  // step pays neither the DP nor a from-scratch schedule build.
+  if (base_has_dp_) {
+    const std::int32_t diff_pid = single_diff_pid(base, accepted);
+    if (diff_pid >= 0) {
       Outcome out;
       bool hit = false;
       {
@@ -234,7 +283,7 @@ EvalContext::Outcome EvalContext::rebase(const PolicyAssignment& base) {
         }
       }
       if (hit) {
-        rebuild_base_schedule(base);  // resumes against the old base_
+        rebuild_base_schedule(base, accepted);  // resumes from the grand log
         base_ = base;
         ++version_;
         rebuild_base_lookups();
@@ -247,7 +296,7 @@ EvalContext::Outcome EvalContext::rebase(const PolicyAssignment& base) {
   }
 
   invalidate_winner_cache();
-  rebuild_base_schedule(base);  // resumes against the old base_ when it can
+  rebuild_base_schedule(base, accepted);  // resumes from the grand log
   base_ = base;
   ++version_;
   base_dag_ = build_wcsl_dag(app_, arch_, base_, k, base_sched_);
@@ -263,10 +312,11 @@ EvalContext::Outcome EvalContext::rebase(const PolicyAssignment& base) {
   return outcome_from_base_rows();
 }
 
-Time EvalContext::rebase_fault_free(const PolicyAssignment& base) {
+Time EvalContext::rebase_fault_free(const PolicyAssignment& base,
+                                    ProcessId accepted) {
   invalidate_winner_cache();
   base_has_dp_ = false;
-  rebuild_base_schedule(base);
+  rebuild_base_schedule(base, accepted);
   base_ = base;
   ++version_;
   rebases_.fetch_add(1, std::memory_order_relaxed);
@@ -483,7 +533,18 @@ EvalStats EvalContext::stats() const {
       rebase_log_recorded_.load(std::memory_order_relaxed);
   s.rebase_log_events_resumed =
       rebase_log_events_resumed_.load(std::memory_order_relaxed);
+  s.rebase_log_events_replayed =
+      rebase_log_events_replayed_.load(std::memory_order_relaxed);
   s.rebase_full_builds = rebase_full_builds_.load(std::memory_order_relaxed);
+  s.rebase_batched = rebase_batched_.load(std::memory_order_relaxed);
+  s.rebase_interval_mismatch =
+      rebase_interval_mismatch_.load(std::memory_order_relaxed);
+  s.snapshot_refs_shared =
+      snapshot_refs_shared_.load(std::memory_order_relaxed);
+  s.snapshot_bytes_copied =
+      snapshot_bytes_copied_.load(std::memory_order_relaxed);
+  s.snapshot_bytes_shared =
+      snapshot_bytes_shared_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -76,13 +76,15 @@ class EvalContext {
   /// outcome.  When `base` is the previous base with exactly the cached
   /// winning move applied, the candidate's artifacts are adopted instead
   /// of recomputed (near-free; counted as a rebase cache hit).
-  /// Invalidates workspaces lazily.
-  Outcome rebase(const PolicyAssignment& base);
+  /// Invalidates workspaces lazily.  A valid `accepted` asserts that the
+  /// new base differs from the old in at most that one plan (the engine's
+  /// accept step knows its move), skipping the O(P) diff scans.
+  Outcome rebase(const PolicyAssignment& base, ProcessId accepted = {});
 
   /// Caches `base` for fault-free (list-schedule makespan) move evaluation
   /// only; builds the base schedule + checkpoint log but no DP.  Returns
-  /// the base's own fault-free makespan.
-  Time rebase_fault_free(const PolicyAssignment& base);
+  /// the base's own fault-free makespan.  `accepted` as for rebase().
+  Time rebase_fault_free(const PolicyAssignment& base, ProcessId accepted = {});
 
   /// WCSL outcome of base-with-plan(pid)-replaced-by-plan, evaluated
   /// incrementally against the cached DP.  Requires a prior rebase().
@@ -155,8 +157,20 @@ class EvalContext {
   void invalidate_winner_cache();
   /// Rebuilds base_sched_ + base_log_ for `base` (the member base_ still
   /// holds the OLD base): record-while-resuming when the bases differ in
-  /// exactly one plan and a log exists, from-scratch otherwise.
-  void rebuild_base_schedule(const PolicyAssignment& base);
+  /// exactly one plan and a log exists, from-scratch otherwise.  Accepted
+  /// moves are re-recorded as a batch against the retained grand-base log
+  /// (see grand_base_), so consecutive acceptances share prefix snapshots
+  /// with one anchor instead of chaining per-move copies.  `accepted`
+  /// as for rebase().
+  void rebuild_base_schedule(const PolicyAssignment& base, ProcessId accepted);
+  /// The single plan in which `base` differs from the cached base_, or -1
+  /// for none/many.  O(1) when the `accepted` hint is valid (debug-checked
+  /// against a full scan), O(P) otherwise.
+  [[nodiscard]] std::int32_t single_diff_pid(const PolicyAssignment& base,
+                                             ProcessId accepted) const;
+  /// Re-anchors the grand base to (base, log) and clears the pending run.
+  void anchor_grand_base(const PolicyAssignment& base,
+                         const ScheduleCheckpointLog& log);
   void rebuild_base_lookups();
   [[nodiscard]] Outcome outcome_from_base_rows() const;
   [[nodiscard]] Time penalized_cost(const std::vector<Time>& process_finish,
@@ -184,6 +198,23 @@ class EvalContext {
   std::vector<int> base_msg_vertex_;
   std::vector<std::vector<int>> base_sorted_preds_;
 
+  // Batched-accept anchor: consecutive accepted moves are re-recorded as
+  // one *batch* against this retained grand base + log (multi-move
+  // record-while-resuming) instead of each resuming from its immediate
+  // predecessor.  Every recorded log in the run then shares its prefix
+  // snapshots with the one anchor (structural sharing, no chained
+  // copies), while staying bit-identical to a from-scratch log of the
+  // current base.  The run is capped at kRebaseBatchWindow moves -- the
+  // resume point is the min over the whole batch, so an unbounded run
+  // would degenerate toward full replays -- and re-anchored (cheap: log
+  // copies share snapshot refs) when the cap is hit or any full rebuild
+  // breaks the chain.
+  static constexpr std::size_t kRebaseBatchWindow = 2;
+  bool grand_valid_ = false;
+  PolicyAssignment grand_base_;
+  ScheduleCheckpointLog grand_log_;
+  std::vector<ProcessId> pending_;  ///< accepted since the grand anchor
+
   std::mutex ws_mutex_;
   std::vector<std::unique_ptr<Workspace>> idle_ws_;
 
@@ -206,7 +237,13 @@ class EvalContext {
   std::atomic<long long> rebase_cache_hits_{0};
   std::atomic<long long> rebase_log_recorded_{0};
   std::atomic<long long> rebase_log_events_resumed_{0};
+  std::atomic<long long> rebase_log_events_replayed_{0};
   std::atomic<long long> rebase_full_builds_{0};
+  std::atomic<long long> rebase_batched_{0};
+  std::atomic<long long> rebase_interval_mismatch_{0};
+  std::atomic<long long> snapshot_refs_shared_{0};
+  std::atomic<long long> snapshot_bytes_copied_{0};
+  std::atomic<long long> snapshot_bytes_shared_{0};
 };
 
 }  // namespace ftes

@@ -39,7 +39,28 @@ struct EvalStats {
   /// Of the rebase schedules' placement events, those served by the old
   /// base's snapshot prefix during record-while-resuming.
   long long rebase_log_events_resumed = 0;
+  /// Events the record-while-resuming rebases actually executed (the
+  /// replayed suffix -- the time cost the snapshot prefix did not avoid).
+  long long rebase_log_events_replayed = 0;
   long long rebase_full_builds = 0;  ///< rebase schedules built from scratch
+  /// Rebase records that diffed a batch of >1 accepted moves against the
+  /// retained grand-base log instead of re-recording one move at a time.
+  long long rebase_batched = 0;
+  /// Interval-gate misses: accepted-move rebases forced to a full rebuild
+  /// because the new base's default snapshot interval no longer matches
+  /// the retained log's (the gate that keeps recorded logs bit-identical).
+  long long rebase_interval_mismatch = 0;
+
+  // Copy-on-write snapshot storage (util/snapshot_store.h): how rebase
+  // record prefixes were produced.
+  long long snapshot_refs_shared = 0;  ///< prefix snapshots adopted by ref
+  /// Bytes materialized into snapshots (copied prefixes + live suffix
+  /// records) across rebase recordings; shared refs contribute zero.
+  long long snapshot_bytes_copied = 0;
+  /// Bytes of the shared prefix snapshots -- what deep-copying records
+  /// would have paid on top of snapshot_bytes_copied (the CI sublinearity
+  /// check compares the two growth rates).
+  long long snapshot_bytes_shared = 0;
 
   /// Fraction of DP rows served from the cache across incremental evals.
   [[nodiscard]] double dp_reuse_fraction() const {
@@ -73,7 +94,13 @@ struct EvalStats {
     rebase_cache_hits += other.rebase_cache_hits;
     rebase_log_recorded += other.rebase_log_recorded;
     rebase_log_events_resumed += other.rebase_log_events_resumed;
+    rebase_log_events_replayed += other.rebase_log_events_replayed;
     rebase_full_builds += other.rebase_full_builds;
+    rebase_batched += other.rebase_batched;
+    rebase_interval_mismatch += other.rebase_interval_mismatch;
+    snapshot_refs_shared += other.snapshot_refs_shared;
+    snapshot_bytes_copied += other.snapshot_bytes_copied;
+    snapshot_bytes_shared += other.snapshot_bytes_shared;
   }
 
   /// Counter deltas since `earlier` (used to attribute a shared context's
@@ -95,7 +122,13 @@ struct EvalStats {
     d.rebase_cache_hits -= earlier.rebase_cache_hits;
     d.rebase_log_recorded -= earlier.rebase_log_recorded;
     d.rebase_log_events_resumed -= earlier.rebase_log_events_resumed;
+    d.rebase_log_events_replayed -= earlier.rebase_log_events_replayed;
     d.rebase_full_builds -= earlier.rebase_full_builds;
+    d.rebase_batched -= earlier.rebase_batched;
+    d.rebase_interval_mismatch -= earlier.rebase_interval_mismatch;
+    d.snapshot_refs_shared -= earlier.snapshot_refs_shared;
+    d.snapshot_bytes_copied -= earlier.snapshot_bytes_copied;
+    d.snapshot_bytes_shared -= earlier.snapshot_bytes_shared;
     return d;
   }
 };

@@ -239,6 +239,11 @@ class PolicyAssignmentProblem final : public SearchProblem {
     return eval_.rebase(current).cost;
   }
 
+  Time commit_accept(const PolicyAssignment& current,
+                     const Move& accepted) override {
+    return eval_.rebase(current, accepted.pid).cost;
+  }
+
  private:
   const Application& app_;
   const Architecture& arch_;

@@ -97,6 +97,17 @@ class SearchProblem {
   /// (the engine then keeps the accepted candidate's evaluated objective,
   /// which equals the return value bit-for-bit).
   virtual Time commit(const PolicyAssignment& current) = 0;
+
+  /// Acceptance commit: `current` is the previous incumbent with exactly
+  /// `accepted` applied.  Problems backed by an EvalContext override this
+  /// to forward the accepted process as a rebase hint (the O(P) diff scan
+  /// per acceptance collapses to O(1) and the batched rebase path
+  /// engages); the default ignores the hint.
+  virtual Time commit_accept(const PolicyAssignment& current,
+                             const Move& accepted) {
+    (void)accepted;
+    return commit(current);
+  }
 };
 
 struct SearchOptions {

@@ -34,6 +34,24 @@ Time ListSchedule::process_finish(ProcessId p) const {
   return latest;
 }
 
+std::size_t snapshot_bytes(const ScheduleSnapshot& s) {
+  std::size_t bytes = sizeof(ScheduleSnapshot);
+  bytes += s.node_free.size() * sizeof(Time);
+  bytes += s.placed.size() * sizeof(char);
+  bytes += s.deps_left.size() * sizeof(int);
+  bytes += s.data_ready.size() * sizeof(Time);
+  bytes += s.ready_heap.size() * sizeof(SnapshotReadyEntry);
+  bytes += s.tx_heap.size() * sizeof(TxEntry);
+  bytes += s.partial.copies.size() * sizeof(ScheduledCopy);
+  bytes += s.partial.messages.size() * sizeof(ScheduledMessage);
+  bytes += s.partial.bus_order.size() * sizeof(int);
+  bytes += s.partial.first_copy.size() * sizeof(int);
+  for (const std::vector<int>& order : s.partial.node_order) {
+    bytes += sizeof(order) + order.size() * sizeof(int);
+  }
+  return bytes;
+}
+
 Time fault_free_duration(const Application& app, const CopyPlan& copy,
                          ProcessId pid) {
   const Process& proc = app.process(pid);
@@ -256,7 +274,9 @@ class Scheduler {
 
   ListSchedule run() {
     while (remaining > 0) {
-      if (log && event % static_cast<std::size_t>(log->snapshot_interval) == 0) {
+      if (log &&
+          event % static_cast<std::size_t>(log->snapshot_interval) == 0 &&
+          event != skip_snapshot_event) {
         take_snapshot();
       }
 
@@ -418,23 +438,30 @@ class Scheduler {
     // Canonical heap images: entries re-keyed to their *current* start
     // (lazy keys may be stale, and staleness depends on the refresh
     // history, which a resumed run does not share with a from-scratch
-    // one) and sorted by the queue order.  Restoring a re-keyed entry is
+    // one) and sorted by (start, vertex).  Restoring a re-keyed entry is
     // sound -- the true start only grows, so the key stays a valid lower
     // bound -- and the snapshot becomes a pure function of the semantic
     // state (placed / deps / readiness / node- and bus-free times).
+    // Ranks are NOT stored: they depend on the assignment, not on the
+    // placed prefix, and are re-stamped by the restoring run -- which
+    // makes prefix snapshots bitwise shareable between a base and a
+    // candidate with the same copy layout.
     s.ready_heap.reserve(ready.items().size());
     for (const ReadyEntry& e : ready.items()) {
-      s.ready_heap.push_back(ReadyEntry{start_of(e.vertex), e.rank, e.vertex});
+      s.ready_heap.push_back(SnapshotReadyEntry{start_of(e.vertex), e.vertex});
     }
     std::sort(s.ready_heap.begin(), s.ready_heap.end(),
-              [](const ReadyEntry& a, const ReadyEntry& b) {
-                return ReadyLess{}(a, b);
+              [](const SnapshotReadyEntry& a, const SnapshotReadyEntry& b) {
+                return a.start != b.start ? a.start < b.start
+                                          : a.vertex < b.vertex;
               });
     s.tx_heap = txq.items();
     std::sort(s.tx_heap.begin(), s.tx_heap.end(),
               [](const TxEntry& a, const TxEntry& b) { return TxLess{}(a, b); });
     s.partial = result;
-    log->snapshots.push_back(std::move(s));
+    ++snapshots_taken;
+    snapshot_bytes_taken += snapshot_bytes(s);
+    log->snapshots.append(std::move(s));
   }
 
   const Application& app_;
@@ -460,6 +487,11 @@ class Scheduler {
   std::size_t remaining = 0;
   std::size_t event = 0;
   std::size_t heap_pops = 0;
+  std::size_t snapshots_taken = 0;       ///< snapshots materialized live
+  std::size_t snapshot_bytes_taken = 0;  ///< their snapshot_bytes() total
+  /// A resumed run that transplanted the base snapshot at exactly this
+  /// event (by reference or remapped) suppresses the live re-record.
+  std::size_t skip_snapshot_event = static_cast<std::size_t>(-1);
 
   ScheduleCheckpointLog* log = nullptr;
 };
@@ -510,65 +542,120 @@ ListSchedule list_schedule_resume(const Application& app,
                                   ProcessId moved,
                                   ListScheduleResumeStats* stats,
                                   ScheduleCheckpointLog* record) {
+  return list_schedule_resume(app, arch, base, log, candidate,
+                              std::vector<ProcessId>{moved}, stats, record);
+}
+
+ListSchedule list_schedule_resume(const Application& app,
+                                  const Architecture& arch,
+                                  const PolicyAssignment& base,
+                                  const ScheduleCheckpointLog& log,
+                                  const PolicyAssignment& candidate,
+                                  const std::vector<ProcessId>& moved,
+                                  ListScheduleResumeStats* stats,
+                                  ScheduleCheckpointLog* record) {
   ListScheduleResumeStats local;
   Scheduler s(app, arch, candidate);
   s.build_static();
 
   // Base-side vertex layout (the log's event indices are per base vertex).
-  std::vector<int> base_first(static_cast<std::size_t>(app.process_count()) + 1,
-                              0);
-  for (int i = 0; i < app.process_count(); ++i) {
+  const int process_count = app.process_count();
+  std::vector<int> base_first(static_cast<std::size_t>(process_count) + 1, 0);
+  for (int i = 0; i < process_count; ++i) {
     base_first[static_cast<std::size_t>(i) + 1] =
         base_first[static_cast<std::size_t>(i)] +
         base.plan(ProcessId{i}).copy_count();
   }
-  const std::int32_t p = moved.get();
-  const int base_first_p = base_first[static_cast<std::size_t>(p)];
-  const int base_p_count = base.plan(moved).copy_count();
-  const int base_p_end = base_first_p + base_p_count;
-  const int cand_p_count = candidate.plan(moved).copy_count();
-  const int delta = cand_p_count - base_p_count;
+  const int base_total = base_first[static_cast<std::size_t>(process_count)];
+
+  // The moved set, deduplicated into ascending pid order.
+  std::vector<char> is_moved(static_cast<std::size_t>(process_count), 0);
+  for (const ProcessId p : moved) {
+    is_moved[static_cast<std::size_t>(p.get())] = 1;
+  }
+  std::vector<ProcessId> mv;
+  mv.reserve(moved.size());
+  for (int i = 0; i < process_count; ++i) {
+    if (is_moved[static_cast<std::size_t>(i)]) mv.push_back(ProcessId{i});
+  }
+
+  std::vector<int> base_proc(static_cast<std::size_t>(base_total), 0);
+  for (int i = 0; i < process_count; ++i) {
+    for (int bv = base_first[static_cast<std::size_t>(i)];
+         bv < base_first[static_cast<std::size_t>(i) + 1]; ++bv) {
+      base_proc[static_cast<std::size_t>(bv)] = i;
+    }
+  }
+  const auto moved_vertex = [&](int bv) {
+    return is_moved[static_cast<std::size_t>(
+               base_proc[static_cast<std::size_t>(bv)])] != 0;
+  };
+  // Candidate vertex of a non-moved base vertex.  Monotone in bv: within
+  // a process the offset is constant and the per-process blocks keep
+  // their relative order, so remapped sorted lists stay sorted.
+  const auto remap = [&](int bv) {
+    assert(!moved_vertex(bv));
+    const int bp = base_proc[static_cast<std::size_t>(bv)];
+    return s.first_copy[static_cast<std::size_t>(bp)] +
+           (bv - base_first[static_cast<std::size_t>(bp)]);
+  };
+  // When every moved process keeps its copy count the remap is the
+  // identity and prefix snapshots are *bitwise* equal to what a
+  // from-scratch candidate build would record (canonical, rank-free, and
+  // free of moved-copy state before the first affected event) -- the
+  // condition for sharing them by reference instead of copying.
+  const bool layout_same = s.first_copy == base_first;
 
   // ---- first affected event --------------------------------------------
   //
   // The candidate run provably coincides with the base run up to (not
   // including) `limit`:
-  //   * the moved process's copies cannot be selected before they are
+  //   * a moved process's copies cannot be selected before they are
   //     ready (avail_event; their readiness index is move-invariant
   //     because it is produced by unaffected producer deliveries),
   //   * a producer placement whose inbound-to-moved message flips between
   //     local delivery and a bus transmission behaves differently, so it
   //     must be replayed (placed_event),
-  //   * a vertex whose priority rank changed (every ancestor of the moved
+  //   * a vertex whose priority rank changed (every ancestor of a moved
   //     process, typically) can win or lose start-time ties -- but ranks
   //     decide *only* such ties, and ready-queue entries are transplanted
   //     with the candidate's ranks below, so the resume point only has to
   //     precede the vertex's first recorded tie, not its readiness.
-  // Everything else depends only on data the move does not touch.
+  // Everything else depends only on data the moves do not touch.  For a
+  // batch of moves the bound is the min over the whole set.
   std::size_t limit = log.event_count;
-  for (int j = 0; j < base_p_count; ++j) {
-    limit = std::min(limit,
-                     log.avail_event[static_cast<std::size_t>(base_first_p + j)]);
-  }
-  for (MessageId mid : app.inputs(moved)) {
-    const Message& m = app.message(mid);
-    const ProcessPlan& sp = base.plan(m.src);
-    const ProcessPlan& base_dp = base.plan(moved);
-    const ProcessPlan& cand_dp = candidate.plan(moved);
-    for (int sj = 0; sj < sp.copy_count(); ++sj) {
-      const NodeId sn = sp.copies[static_cast<std::size_t>(sj)].node;
-      bool cross_base = false;
-      for (const CopyPlan& d : base_dp.copies) {
-        if (d.node != sn) cross_base = true;
-      }
-      bool cross_cand = false;
-      for (const CopyPlan& d : cand_dp.copies) {
-        if (d.node != sn) cross_cand = true;
-      }
-      if (cross_base != cross_cand) {
-        limit = std::min(
-            limit, log.placed_event[static_cast<std::size_t>(
-                       base_first[static_cast<std::size_t>(m.src.get())] + sj)]);
+  for (const ProcessId mp : mv) {
+    const int p = mp.get();
+    for (int bv = base_first[static_cast<std::size_t>(p)];
+         bv < base_first[static_cast<std::size_t>(p) + 1]; ++bv) {
+      limit = std::min(limit, log.avail_event[static_cast<std::size_t>(bv)]);
+    }
+    for (MessageId mid : app.inputs(mp)) {
+      const Message& m = app.message(mid);
+      // A moved producer's placements all happen at/after `limit` (its
+      // copies' readiness bounds limit, and a copy is placed no earlier
+      // than it becomes available), so they are replayed regardless of
+      // how the message flips -- no check needed.
+      if (is_moved[static_cast<std::size_t>(m.src.get())]) continue;
+      const ProcessPlan& sp = base.plan(m.src);
+      const ProcessPlan& base_dp = base.plan(mp);
+      const ProcessPlan& cand_dp = candidate.plan(mp);
+      for (int sj = 0; sj < sp.copy_count(); ++sj) {
+        const NodeId sn = sp.copies[static_cast<std::size_t>(sj)].node;
+        bool cross_base = false;
+        for (const CopyPlan& d : base_dp.copies) {
+          if (d.node != sn) cross_base = true;
+        }
+        bool cross_cand = false;
+        for (const CopyPlan& d : cand_dp.copies) {
+          if (d.node != sn) cross_cand = true;
+        }
+        if (cross_base != cross_cand) {
+          limit = std::min(
+              limit, log.placed_event[static_cast<std::size_t>(
+                         base_first[static_cast<std::size_t>(m.src.get())] +
+                         sj)]);
+        }
       }
     }
   }
@@ -582,13 +669,13 @@ ListSchedule list_schedule_resume(const Application& app,
     Time best_rank = 0;
     bool involves_moved = false;
     for (const int bv : tie.contenders) {
-      if (bv >= base_first_p && bv < base_p_end) {
-        // Unreachable while limit <= the moved process's readiness, but be
-        // conservative if it ever is.
+      if (moved_vertex(bv)) {
+        // Unreachable while limit <= every moved process's readiness, but
+        // be conservative if it ever is.
         involves_moved = true;
         break;
       }
-      const int cv = bv < base_first_p ? bv : bv + delta;
+      const int cv = remap(bv);
       const Time r = s.rank[static_cast<std::size_t>(cv)];
       // Same pick rule as the ready queue: max rank, then min vertex id
       // (remapping preserves the relative id order of non-moved vertices).
@@ -597,9 +684,7 @@ ListSchedule list_schedule_resume(const Application& app,
         best_rank = r;
       }
     }
-    const int base_winner_cand =
-        tie.winner < base_first_p ? tie.winner : tie.winner + delta;
-    if (involves_moved || best != base_winner_cand) {
+    if (involves_moved || best != remap(tie.winner)) {
       limit = tie.event;
       break;
     }
@@ -608,8 +693,8 @@ ListSchedule list_schedule_resume(const Application& app,
   // ---- nearest usable snapshot -----------------------------------------
   const ScheduleSnapshot* snap = nullptr;
   for (auto it = log.snapshots.rbegin(); it != log.snapshots.rend(); ++it) {
-    if (it->event_index <= limit) {
-      snap = &*it;
+    if ((*it)->event_index <= limit) {
+      snap = it->get();
       break;
     }
   }
@@ -635,91 +720,114 @@ ListSchedule list_schedule_resume(const Application& app,
   } else {
     // ---- transplant the snapshot into the candidate's vertex space ------
     const std::size_t cand_total = s.verts.size();
-    const auto remap = [&](int bv) {
-      assert(bv < base_first_p || bv >= base_p_end);
-      return bv < base_first_p ? bv : bv + delta;
-    };
-
-    s.result.copies.assign(cand_total, ScheduledCopy{});
-    s.result.first_copy = s.first_copy;
-    s.result.node_order.assign(static_cast<std::size_t>(arch.node_count()),
-                               {});
-    for (std::size_t n = 0; n < snap->partial.node_order.size(); ++n) {
-      for (int v : snap->partial.node_order[n]) {
-        s.result.node_order[n].push_back(remap(v));
+#ifndef NDEBUG
+    for (const ProcessId mp : mv) {
+      // Moved processes are untouched before the resume point.
+      for (int bv = base_first[static_cast<std::size_t>(mp.get())];
+           bv < base_first[static_cast<std::size_t>(mp.get()) + 1]; ++bv) {
+        assert(!snap->placed[static_cast<std::size_t>(bv)]);
       }
     }
+#endif
+
+    s.result.first_copy = s.first_copy;
     s.result.messages = snap->partial.messages;
     s.result.bus_order = snap->partial.bus_order;
     s.result.makespan = snap->partial.makespan;
-
-    s.placed.assign(cand_total, 0);
-    s.deps_left.assign(cand_total, 0);
-    s.data_ready.assign(cand_total, 0);
-    const int base_total = static_cast<int>(log.avail_event.size());
-    for (int bv = 0; bv < base_total; ++bv) {
-      if (bv >= base_first_p && bv < base_p_end) {
-        // The moved process is untouched before the resume point.
-        assert(!snap->placed[static_cast<std::size_t>(bv)]);
-        continue;
-      }
-      const std::size_t cv = static_cast<std::size_t>(remap(bv));
-      s.placed[cv] = snap->placed[static_cast<std::size_t>(bv)];
-      if (s.placed[cv]) {
-        s.result.copies[cv] =
-            snap->partial.copies[static_cast<std::size_t>(bv)];
-      }
-      s.deps_left[cv] = snap->deps_left[static_cast<std::size_t>(bv)];
-      s.data_ready[cv] = snap->data_ready[static_cast<std::size_t>(bv)];
-    }
-    // Consumers of the moved process count one dependency per producer
-    // copy; no deliveries from the moved process happened yet.
-    if (delta != 0) {
-      for (MessageId mid : app.outputs(moved)) {
-        const Message& m = app.message(mid);
-        const int count = candidate.plan(m.dst).copy_count();
-        for (int dj = 0; dj < count; ++dj) {
-          s.deps_left[static_cast<std::size_t>(s.vertex_of(m.dst, dj))] +=
-              delta;
+    if (layout_same) {
+      // Identity remap: take the read-only prefix wholesale instead of
+      // copying it element by element (moved copies are unplaced with
+      // default slots, and their readiness is re-seeded below).
+      s.result.copies = snap->partial.copies;
+      s.result.node_order = snap->partial.node_order;
+      s.placed = snap->placed;
+      s.deps_left = snap->deps_left;
+      s.data_ready = snap->data_ready;
+    } else {
+      s.result.copies.assign(cand_total, ScheduledCopy{});
+      s.result.node_order.assign(static_cast<std::size_t>(arch.node_count()),
+                                 {});
+      for (std::size_t n = 0; n < snap->partial.node_order.size(); ++n) {
+        for (int v : snap->partial.node_order[n]) {
+          s.result.node_order[n].push_back(remap(v));
         }
+      }
+      s.placed.assign(cand_total, 0);
+      s.deps_left.assign(cand_total, 0);
+      s.data_ready.assign(cand_total, 0);
+      for (int bv = 0; bv < base_total; ++bv) {
+        if (moved_vertex(bv)) continue;
+        const std::size_t cv = static_cast<std::size_t>(remap(bv));
+        s.placed[cv] = snap->placed[static_cast<std::size_t>(bv)];
+        if (s.placed[cv]) {
+          s.result.copies[cv] =
+              snap->partial.copies[static_cast<std::size_t>(bv)];
+        }
+        s.deps_left[cv] = snap->deps_left[static_cast<std::size_t>(bv)];
+        s.data_ready[cv] = snap->data_ready[static_cast<std::size_t>(bv)];
       }
     }
     // All copies of one process share (deps_left, data_ready): deliveries
     // broadcast to every copy and the predecessor count is independent of
-    // the process's own plan.  Seed the candidate's copies from base copy 0.
-    const int shared_deps =
-        snap->deps_left[static_cast<std::size_t>(base_first_p)];
-    const Time shared_ready =
-        snap->data_ready[static_cast<std::size_t>(base_first_p)];
-    for (int j = 0; j < cand_p_count; ++j) {
-      const std::size_t cv = static_cast<std::size_t>(s.vertex_of(moved, j));
-      s.deps_left[cv] = shared_deps;
-      s.data_ready[cv] = shared_ready;
+    // the process's own plan.  Seed every moved process's candidate copies
+    // from its base copy 0, then adjust the consumers of moved producers
+    // whose copy count changed (one dependency per producer copy; no
+    // deliveries from moved producers happened yet).  The adjustment runs
+    // after the seeding so a moved consumer of a moved producer is
+    // corrected too.
+    for (const ProcessId mp : mv) {
+      const int bf = base_first[static_cast<std::size_t>(mp.get())];
+      const int shared_deps = snap->deps_left[static_cast<std::size_t>(bf)];
+      const Time shared_ready =
+          snap->data_ready[static_cast<std::size_t>(bf)];
+      const int count = candidate.plan(mp).copy_count();
+      for (int j = 0; j < count; ++j) {
+        const std::size_t cv = static_cast<std::size_t>(s.vertex_of(mp, j));
+        s.deps_left[cv] = shared_deps;
+        s.data_ready[cv] = shared_ready;
+      }
+    }
+    for (const ProcessId mp : mv) {
+      const int delta_p =
+          candidate.plan(mp).copy_count() - base.plan(mp).copy_count();
+      if (delta_p == 0) continue;
+      for (MessageId mid : app.outputs(mp)) {
+        const Message& m = app.message(mid);
+        const int count = candidate.plan(m.dst).copy_count();
+        for (int dj = 0; dj < count; ++dj) {
+          s.deps_left[static_cast<std::size_t>(s.vertex_of(m.dst, dj))] +=
+              delta_p;
+        }
+      }
     }
 
     s.node_free = snap->node_free;
     s.bus_free = snap->bus_free;
     s.tx_seq = snap->tx_seq;
-    s.remaining = snap->remaining + static_cast<std::size_t>(delta);
+    s.remaining =
+        snap->remaining + (cand_total - static_cast<std::size_t>(base_total));
     s.event = snap->event_index;
 
-    // Ready queue: keep unaffected entries' start keys (move-invariant) but
+    // Ready queue: keep unaffected entries' start keys (move-invariant),
     // stamp each with the *candidate's* rank -- a rank change only breaks
     // future ties, which the resume-point bound already guarantees did not
-    // occur in the kept prefix -- and re-derive the moved process's entries
-    // with the candidate's mapping and rank.
+    // occur in the kept prefix -- and re-derive the moved processes'
+    // entries with the candidate's mapping and rank.
     std::vector<ReadyEntry> entries;
-    entries.reserve(snap->ready_heap.size() +
-                    static_cast<std::size_t>(cand_p_count));
-    for (const ReadyEntry& e : snap->ready_heap) {
-      if (e.vertex >= base_first_p && e.vertex < base_p_end) continue;
+    entries.reserve(snap->ready_heap.size() + mv.size());
+    for (const SnapshotReadyEntry& e : snap->ready_heap) {
+      if (moved_vertex(e.vertex)) continue;
       const int cv = remap(e.vertex);
       entries.push_back(
           ReadyEntry{e.start, s.rank[static_cast<std::size_t>(cv)], cv});
     }
-    if (shared_deps == 0) {
-      for (int j = 0; j < cand_p_count; ++j) {
-        const int cv = s.vertex_of(moved, j);
+    for (const ProcessId mp : mv) {
+      if (s.deps_left[static_cast<std::size_t>(s.vertex_of(mp, 0))] != 0) {
+        continue;
+      }
+      const int count = candidate.plan(mp).copy_count();
+      for (int j = 0; j < count; ++j) {
+        const int cv = s.vertex_of(mp, j);
         entries.push_back(ReadyEntry{
             s.start_of(cv), s.rank[static_cast<std::size_t>(cv)], cv});
       }
@@ -735,34 +843,50 @@ ListSchedule list_schedule_resume(const Application& app,
       // tie groups before the resume point (same contender sets -- a pure
       // function of the tied state -- and same winners, re-judged above),
       // and prefix snapshots (canonical, so equal to what a from-scratch
-      // candidate build would record at the same event, modulo the vertex
-      // remap and the candidate's ranks re-stamped below).  Entries whose
+      // candidate build would record at the same event).  Entries whose
       // events fall at or past the resume point are overwritten by the
       // replay's own recording.
       record->rank = s.rank;
-      record->avail_event.assign(cand_total, 0);
-      record->placed_event.assign(cand_total, 0);
-      for (int bv = 0; bv < base_total; ++bv) {
-        if (bv >= base_first_p && bv < base_p_end) continue;
-        const std::size_t cv = static_cast<std::size_t>(remap(bv));
-        record->avail_event[cv] =
-            log.avail_event[static_cast<std::size_t>(bv)];
-        record->placed_event[cv] =
-            log.placed_event[static_cast<std::size_t>(bv)];
-      }
-      // All copies of one process share their readiness index.  When the
-      // moved process's last inbound delivery happened in the prefix, the
-      // replay never re-delivers it, so the index must come from the base
-      // (it is at the resume point exactly -- the resume bound guarantees
-      // availability no earlier); a delivery during replay overwrites it.
-      const std::size_t shared_avail =
-          log.avail_event[static_cast<std::size_t>(base_first_p)];
-      for (int j = 0; j < cand_p_count; ++j) {
-        record->avail_event[static_cast<std::size_t>(
-            s.vertex_of(moved, j))] = shared_avail;
+      if (layout_same) {
+        // Identity remap: per-vertex indices transplant wholesale.  Moved
+        // copies' base values are correct too -- their readiness index is
+        // shared per process and move-invariant, and their placed entries
+        // (base suffix placements) are overwritten when the replay places
+        // them.
+        record->avail_event = log.avail_event;
+        record->placed_event = log.placed_event;
+      } else {
+        record->avail_event.assign(cand_total, 0);
+        record->placed_event.assign(cand_total, 0);
+        for (int bv = 0; bv < base_total; ++bv) {
+          if (moved_vertex(bv)) continue;
+          const std::size_t cv = static_cast<std::size_t>(remap(bv));
+          record->avail_event[cv] =
+              log.avail_event[static_cast<std::size_t>(bv)];
+          record->placed_event[cv] =
+              log.placed_event[static_cast<std::size_t>(bv)];
+        }
+        // All copies of one process share their readiness index.  When a
+        // moved process's last inbound delivery happened in the prefix,
+        // the replay never re-delivers it, so the index must come from the
+        // base; a delivery during replay overwrites it.
+        for (const ProcessId mp : mv) {
+          const std::size_t shared_avail =
+              log.avail_event[static_cast<std::size_t>(
+                  base_first[static_cast<std::size_t>(mp.get())])];
+          const int count = candidate.plan(mp).copy_count();
+          for (int j = 0; j < count; ++j) {
+            record->avail_event[static_cast<std::size_t>(
+                s.vertex_of(mp, j))] = shared_avail;
+          }
+        }
       }
       for (const ScheduleCheckpointLog::StartTie& tie : log.ties) {
         if (tie.event >= snap->event_index) break;
+        if (layout_same) {
+          record->ties.push_back(tie);
+          continue;
+        }
         ScheduleCheckpointLog::StartTie t;
         t.event = tie.event;
         t.winner = remap(tie.winner);
@@ -771,11 +895,31 @@ ListSchedule list_schedule_resume(const Application& app,
         for (const int bv : tie.contenders) t.contenders.push_back(remap(bv));
         record->ties.push_back(std::move(t));
       }
-      for (const ScheduleSnapshot& bs : log.snapshots) {
-        if (bs.event_index >= snap->event_index) break;
+      // Prefix snapshots, including the resume-point snapshot itself (the
+      // live re-record at that event is suppressed): shared by reference
+      // when the copy layout is unchanged, materialized remapped
+      // otherwise.  A shared snapshot must predate `limit` -- at
+      // event_index == limit a moved copy can already sit in the ready
+      // image with a start key that depends on its (changed) plan; the
+      // materialized rebuild below recomputes the ready image from the
+      // transplanted semantic state, so it has no such restriction.
+      for (const auto& bs_ref : log.snapshots) {
+        const ScheduleSnapshot& bs = *bs_ref;
+        if (bs.event_index > snap->event_index) break;
+        if (layout_same) {
+          if (bs.event_index >= limit) break;
+          record->snapshots.share(bs_ref);
+          ++local.snapshots_shared;
+          local.snapshot_bytes_shared += snapshot_bytes(bs);
+          if (bs.event_index == snap->event_index) {
+            s.skip_snapshot_event = snap->event_index;
+          }
+          continue;
+        }
         ScheduleSnapshot ns;
         ns.event_index = bs.event_index;
-        ns.remaining = bs.remaining + static_cast<std::size_t>(delta);
+        ns.remaining =
+            bs.remaining + (cand_total - static_cast<std::size_t>(base_total));
         ns.bus_free = bs.bus_free;
         ns.tx_seq = bs.tx_seq;
         ns.node_free = bs.node_free;
@@ -785,7 +929,7 @@ ListSchedule list_schedule_resume(const Application& app,
         ns.partial.first_copy = s.first_copy;
         ns.partial.copies.assign(cand_total, ScheduledCopy{});
         for (int bv = 0; bv < base_total; ++bv) {
-          if (bv >= base_first_p && bv < base_p_end) continue;
+          if (moved_vertex(bv)) continue;
           const std::size_t cv = static_cast<std::size_t>(remap(bv));
           ns.placed[cv] = bs.placed[static_cast<std::size_t>(bv)];
           ns.deps_left[cv] = bs.deps_left[static_cast<std::size_t>(bv)];
@@ -793,28 +937,32 @@ ListSchedule list_schedule_resume(const Application& app,
           ns.partial.copies[cv] =
               bs.partial.copies[static_cast<std::size_t>(bv)];
         }
-        // Same seeding rules as the dynamic-state transplant above: the
-        // moved process's copies share base copy 0's readiness, and its
-        // consumers count one dependency per candidate producer copy.
-        if (delta != 0) {
-          for (MessageId mid : app.outputs(moved)) {
+        // Same seeding rules as the dynamic-state transplant above.
+        for (const ProcessId mp : mv) {
+          const int bf = base_first[static_cast<std::size_t>(mp.get())];
+          const int snap_deps = bs.deps_left[static_cast<std::size_t>(bf)];
+          const Time snap_ready =
+              bs.data_ready[static_cast<std::size_t>(bf)];
+          const int count = candidate.plan(mp).copy_count();
+          for (int j = 0; j < count; ++j) {
+            const std::size_t cv =
+                static_cast<std::size_t>(s.vertex_of(mp, j));
+            ns.deps_left[cv] = snap_deps;
+            ns.data_ready[cv] = snap_ready;
+          }
+        }
+        for (const ProcessId mp : mv) {
+          const int delta_p =
+              candidate.plan(mp).copy_count() - base.plan(mp).copy_count();
+          if (delta_p == 0) continue;
+          for (MessageId mid : app.outputs(mp)) {
             const Message& m = app.message(mid);
             const int count = candidate.plan(m.dst).copy_count();
             for (int dj = 0; dj < count; ++dj) {
               ns.deps_left[static_cast<std::size_t>(
-                  s.vertex_of(m.dst, dj))] += delta;
+                  s.vertex_of(m.dst, dj))] += delta_p;
             }
           }
-        }
-        const int snap_deps =
-            bs.deps_left[static_cast<std::size_t>(base_first_p)];
-        const Time snap_ready =
-            bs.data_ready[static_cast<std::size_t>(base_first_p)];
-        for (int j = 0; j < cand_p_count; ++j) {
-          const std::size_t cv =
-              static_cast<std::size_t>(s.vertex_of(moved, j));
-          ns.deps_left[cv] = snap_deps;
-          ns.data_ready[cv] = snap_ready;
         }
         ns.partial.node_order.assign(
             static_cast<std::size_t>(arch.node_count()), {});
@@ -827,7 +975,7 @@ ListSchedule list_schedule_resume(const Application& app,
         ns.partial.bus_order = bs.partial.bus_order;
         ns.partial.makespan = bs.partial.makespan;
         // Canonical ready image, rebuilt from the transplanted semantic
-        // state (ready == available and unplaced) under candidate ranks.
+        // state (ready == available and unplaced).
         for (std::size_t cv = 0; cv < cand_total; ++cv) {
           if (ns.placed[cv] || ns.deps_left[cv] != 0) continue;
           const Time start = std::max(
@@ -835,15 +983,21 @@ ListSchedule list_schedule_resume(const Application& app,
                ns.node_free[static_cast<std::size_t>(
                    s.verts[cv].node.get())]});
           ns.ready_heap.push_back(
-              ReadyEntry{start, s.rank[cv], static_cast<int>(cv)});
+              SnapshotReadyEntry{start, static_cast<int>(cv)});
         }
         std::sort(ns.ready_heap.begin(), ns.ready_heap.end(),
-                  [](const ReadyEntry& a, const ReadyEntry& b) {
-                    return ReadyLess{}(a, b);
+                  [](const SnapshotReadyEntry& a, const SnapshotReadyEntry& b) {
+                    return a.start != b.start ? a.start < b.start
+                                              : a.vertex < b.vertex;
                   });
         ns.tx_heap = bs.tx_heap;  // canonical and move-invariant (no moved
                                   // producer placed, senders untouched)
-        record->snapshots.push_back(std::move(ns));
+        ++local.snapshots_copied;
+        local.snapshot_bytes_copied += snapshot_bytes(ns);
+        if (bs.event_index == snap->event_index) {
+          s.skip_snapshot_event = snap->event_index;
+        }
+        record->snapshots.append(std::move(ns));
       }
     }
 
@@ -855,6 +1009,8 @@ ListSchedule list_schedule_resume(const Application& app,
   local.events_total = s.event;
   local.events_replayed = s.event - local.events_resumed;
   local.heap_pops = s.heap_pops;
+  local.snapshots_copied += s.snapshots_taken;
+  local.snapshot_bytes_copied += s.snapshot_bytes_taken;
   if (stats) *stats = local;
   return out;
 }

@@ -31,6 +31,7 @@
 #include "arch/architecture.h"
 #include "fault/policy.h"
 #include "fault/scenario.h"
+#include "util/snapshot_store.h"
 #include "util/time_types.h"
 
 namespace ftes {
@@ -97,16 +98,31 @@ struct TxEntry {
   NodeId sender;
 };
 
+/// Snapshot-resident ready-queue entry.  Deliberately *rank-free*: ranks
+/// are a pure function of the assignment (re-stamped from the restoring
+/// run's own rank vector), while everything else in a snapshot taken
+/// before a move's first affected event is move-invariant.  Dropping the
+/// rank makes such prefix snapshots bit-identical between a base and any
+/// candidate with the same copy layout -- which is what lets a
+/// record-while-resuming run share them by reference instead of copying
+/// (see ScheduleCheckpointLog::snapshots).
+struct SnapshotReadyEntry {
+  Time start = 0;
+  int vertex = -1;
+};
+
 /// Full scheduler state between two placement events, restorable into a
 /// resumed run (possibly with the moved process's vertex ids remapped).
 ///
 /// Snapshots are *canonical*: the heap images are re-keyed to their true
-/// start at snapshot time and sorted by the queue order, so a snapshot is
-/// a pure function of the scheduler's semantic state -- two runs that
-/// placed the same prefix record bit-identical snapshots, regardless of
-/// their internal heap layout or lazy-key refresh history.  (This is what
-/// lets a resumed run record a log bit-identical to a from-scratch
-/// build's; see list_schedule_resume's `record` parameter.)
+/// start at snapshot time and sorted by (start, vertex) / the tx queue
+/// order, so a snapshot is a pure function of the scheduler's semantic
+/// state -- two runs that placed the same prefix record bit-identical
+/// snapshots, regardless of their internal heap layout or lazy-key
+/// refresh history.  (This is what lets a resumed run record a log
+/// bit-identical to a from-scratch build's; see list_schedule_resume's
+/// `record` parameter.)  Once inside a log a snapshot is immutable and
+/// may be co-owned by any number of derived logs.
 struct ScheduleSnapshot {
   std::size_t event_index = 0;  ///< events committed before this state
   std::size_t remaining = 0;    ///< copies still unplaced
@@ -116,10 +132,17 @@ struct ScheduleSnapshot {
   std::vector<char> placed;
   std::vector<int> deps_left;
   std::vector<Time> data_ready;
-  std::vector<ReadyEntry> ready_heap;  ///< heap storage (order-free: total key)
+  /// Ready image sorted by (start, vertex); rank-free, see above.
+  std::vector<SnapshotReadyEntry> ready_heap;
   std::vector<TxEntry> tx_heap;
   ListSchedule partial;  ///< copies/messages committed so far
 };
+
+/// Deterministic byte size of one snapshot's storage (the struct plus
+/// every owned vector payload) -- the unit of the snapshot_bytes_copied
+/// counters, so "bytes a rebase materialized" is a pure function of the
+/// schedule and never of allocator or capacity accidents.
+[[nodiscard]] std::size_t snapshot_bytes(const ScheduleSnapshot& s);
 
 /// Checkpoint log of one full build: snapshots plus the per-vertex event
 /// indices and priority ranks needed to bound a move's first affected
@@ -128,7 +151,12 @@ struct ScheduleSnapshot {
 struct ScheduleCheckpointLog {
   int snapshot_interval = 0;    ///< events between snapshots (>= 1)
   std::size_t event_count = 0;  ///< total events of the base build
-  std::vector<ScheduleSnapshot> snapshots;  ///< at events 0, I, 2I, ...
+  /// Immutable snapshots at events 0, I, 2I, ... -- copy-on-write: a log
+  /// recorded while resuming *shares* the base log's prefix snapshots by
+  /// reference (they are bit-identical by construction when the copy
+  /// layout is unchanged) and only materializes snapshots at/after the
+  /// resume point.  Copying a log copies refs, never snapshot bytes.
+  SnapshotStore<ScheduleSnapshot> snapshots;
   /// Per copy vertex: first event index whose selection could consider the
   /// vertex (its dependencies completed strictly before that event).
   std::vector<std::size_t> avail_event;
@@ -162,6 +190,16 @@ struct ListScheduleResumeStats {
   std::size_t events_resumed = 0;   ///< prefix events served by the snapshot
   std::size_t events_replayed = 0;  ///< events actually executed
   std::size_t heap_pops = 0;        ///< ready/tx heap pops during replay
+  // Record-while-resuming snapshot accounting (zero without `record`):
+  // prefix snapshots transplanted by reference vs materialized by value,
+  // and the bytes every materialized snapshot cost (remapped prefix
+  // copies plus snapshots recorded live during the replayed suffix).
+  std::size_t snapshots_shared = 0;
+  std::size_t snapshots_copied = 0;
+  std::size_t snapshot_bytes_copied = 0;
+  /// Bytes of the shared prefix snapshots -- what a deep-copying record
+  /// would have paid on top of snapshot_bytes_copied.
+  std::size_t snapshot_bytes_shared = 0;
 };
 
 /// Computes the fault-free list schedule.  `assignment` must be fully
@@ -197,19 +235,37 @@ struct ListScheduleResumeStats {
 /// emits a complete checkpoint log for the *candidate* -- the replayed
 /// suffix records its events, ties and snapshots live, and the skipped
 /// prefix is transplanted from `log` (event indices and tie groups are
-/// move-invariant before the resume point; prefix snapshots are remapped
-/// into the candidate's vertex space and re-ranked).  The recorded log
+/// move-invariant before the resume point).  Prefix snapshots are
+/// copy-on-write: when every moved process keeps its copy count they are
+/// *shared by reference* (bit-identical by construction -- snapshots are
+/// canonical and rank-free), otherwise they are materialized remapped
+/// into the candidate's vertex space; either way the recorded log
 /// inherits `log`'s snapshot interval (so prefix snapshots stay aligned)
 /// and is bit-identical to the log of
 /// `list_schedule(app, arch, candidate, *record, log.snapshot_interval)`
-/// -- an accepted move's rebase gets a resumable log without paying a
-/// from-scratch build.  `record` must not alias `log` (the transplant
+/// -- an accepted move's rebase gets a resumable log while copying only
+/// the changed suffix.  `record` must not alias `log` (the transplant
 /// reads `log`'s snapshots while writing `record`); record into a fresh
 /// log and move it over the old one afterwards.
 [[nodiscard]] ListSchedule list_schedule_resume(
     const Application& app, const Architecture& arch,
     const PolicyAssignment& base, const ScheduleCheckpointLog& log,
     const PolicyAssignment& candidate, ProcessId moved,
+    ListScheduleResumeStats* stats = nullptr,
+    ScheduleCheckpointLog* record = nullptr);
+
+/// Multi-move resume: `candidate` is `base` with the plans of every
+/// process in `moved` replaced (a batch of accepted moves diffed against
+/// a retained grand-base log).  The resume point is bounded by the
+/// earliest first-affected event over the whole set; everything else --
+/// bit-identity, record-while-resuming, snapshot sharing -- behaves as in
+/// the single-move overload (which forwards here).  `moved` may name
+/// processes whose plan is in fact unchanged (treated conservatively) and
+/// may be empty (candidate == base: resumes from the last snapshot).
+[[nodiscard]] ListSchedule list_schedule_resume(
+    const Application& app, const Architecture& arch,
+    const PolicyAssignment& base, const ScheduleCheckpointLog& log,
+    const PolicyAssignment& candidate, const std::vector<ProcessId>& moved,
     ListScheduleResumeStats* stats = nullptr,
     ScheduleCheckpointLog* record = nullptr);
 

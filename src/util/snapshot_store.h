@@ -1,0 +1,72 @@
+// Copy-on-write snapshot storage: an append-only sequence of immutable,
+// refcounted snapshots with structural sharing between stores.
+//
+// The incremental list scheduler checkpoints full scheduler-state
+// snapshots every ~sqrt(E) events (sched/list_scheduler.h).  A
+// record-while-resuming run produces a complete log for a *candidate*
+// whose prefix -- every snapshot before the resume point -- is provably
+// bit-identical to the base log's.  Deep-copying that prefix made every
+// accepted-move rebase O(E) in bytes regardless of how little actually
+// changed; sharing it by reference makes a rebase O(changed suffix).
+//
+// A SnapshotStore therefore holds `shared_ptr<const T>`s: append()
+// materializes a new snapshot (the only place bytes are copied), while
+// share() adopts another store's snapshot by reference.  Snapshots are
+// immutable from the moment they enter a store, so sharing is safe across
+// any number of derived logs -- and across threads: the parallel
+// neighborhood evaluation reads base snapshots from pool workers while
+// the serial accept step records derived logs that alias them.  Dropping
+// a store (or overwriting a log) releases only the refcounts; a snapshot
+// dies with its last owner.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace ftes {
+
+template <class T>
+class SnapshotStore {
+ public:
+  using Ref = std::shared_ptr<const T>;
+
+  /// Materializes a snapshot into the store (the copy/allocation cost
+  /// lives here and nowhere else).  Returns the stored ref so a caller
+  /// can immediately share it onward.
+  const Ref& append(T&& value) {
+    refs_.push_back(std::make_shared<const T>(std::move(value)));
+    return refs_.back();
+  }
+
+  /// Adopts an existing snapshot by reference -- structural sharing, no
+  /// bytes copied.  The snapshot is co-owned by every store holding it.
+  void share(Ref ref) { refs_.push_back(std::move(ref)); }
+
+  void clear() noexcept { refs_.clear(); }
+  [[nodiscard]] bool empty() const noexcept { return refs_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return refs_.size(); }
+
+  /// The snapshot at position i (always non-null for stored positions).
+  const T& operator[](std::size_t i) const { return *refs_[i]; }
+  [[nodiscard]] const Ref& ref(std::size_t i) const { return refs_[i]; }
+
+  /// True when position i aliases the same underlying snapshot as
+  /// `other`'s position j -- identity, not equality (aliasing tests).
+  [[nodiscard]] bool aliases(std::size_t i, const SnapshotStore& other,
+                             std::size_t j) const {
+    return refs_[i] == other.refs_[j];
+  }
+
+  // Iteration yields refs; dereference to reach the snapshot.
+  [[nodiscard]] auto begin() const noexcept { return refs_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return refs_.end(); }
+  [[nodiscard]] auto rbegin() const noexcept { return refs_.rbegin(); }
+  [[nodiscard]] auto rend() const noexcept { return refs_.rend(); }
+
+ private:
+  std::vector<Ref> refs_;
+};
+
+}  // namespace ftes

@@ -315,6 +315,90 @@ TEST(EvalContext, AcceptedMoveRebaseRecordsLogViaResume) {
   }
 }
 
+// Consecutive acceptances are re-recorded as a batch against the retained
+// grand-base log (kRebaseBatchWindow).  A run of layout-preserving
+// checkpoint flips -- the common accepted move -- must (a) stay
+// bit-identical to from-scratch evaluation after every rebase, (b)
+// actually batch (>1 pending move diffed against one anchor), and (c)
+// share prefix snapshots by reference instead of copying them.
+TEST(EvalContext, BatchedAcceptRunSharesSnapshotsAndStaysExact) {
+  const Instance inst = make_instance(26, 3, 99);
+  const FaultModel model{2};
+  PolicyAssignment base = greedy_initial(inst.app, inst.arch, model,
+                                         PolicySpace::kCheckpointingOnly, 8);
+  EvalContext eval(inst.app, inst.arch, model);
+  eval.rebase(base);
+
+  // Checkpoint flips keep the event count (and with it the layout and the
+  // default snapshot interval) unchanged, so every acceptance is eligible
+  // for prefix sharing.  Cycle over the three latest processes in
+  // topological order to keep the resumable prefix long.
+  const auto& topo = inst.app.topological_order();
+  for (int accept = 0; accept < 9; ++accept) {
+    const ProcessId pid = topo[topo.size() - 1 -
+                               static_cast<std::size_t>(accept % 3)];
+    ProcessPlan plan = base.plan(pid);
+    plan.copies[0].checkpoints = plan.copies[0].checkpoints == 1 ? 2 : 1;
+    base.plan(pid) = plan;
+    const EvalContext::Outcome out = eval.rebase(base, pid);
+    EXPECT_EQ(out.makespan,
+              evaluate_wcsl(inst.app, inst.arch, base, model).makespan)
+        << "accept " << accept;
+    EXPECT_EQ(out.cost, assignment_cost(inst.app, inst.arch, base, model))
+        << "accept " << accept;
+  }
+
+  const EvalStats stats = eval.stats();
+  EXPECT_GT(stats.rebase_log_recorded, 0);
+  EXPECT_GT(stats.rebase_batched, 0)
+      << "consecutive accepts never diffed a >1-move batch";
+  EXPECT_GT(stats.snapshot_refs_shared, 0)
+      << "no prefix snapshot was adopted by reference";
+  EXPECT_GT(stats.snapshot_bytes_shared, 0);
+
+  // The evaluator must still be exact for the next neighborhood.
+  Rng rng(808);
+  for (int round = 0; round < 15; ++round) {
+    const ProcessId mover{static_cast<std::int32_t>(
+        rng.index(static_cast<std::size_t>(inst.app.process_count())))};
+    const ProcessPlan plan = random_move(inst, base, mover, model, rng);
+    PolicyAssignment candidate = base;
+    candidate.plan(mover) = plan;
+    EXPECT_EQ(eval.evaluate_move(mover, plan).makespan,
+              evaluate_wcsl(inst.app, inst.arch, candidate, model).makespan)
+        << "round " << round;
+  }
+}
+
+// Random accepted moves of all three families: the batched rebase path
+// must stay exact under layout changes and interval-gate misses, and
+// every interval mismatch must be accounted as a full rebuild (the gate
+// that keeps recorded logs bit-identical never records through a
+// mismatched interval).
+TEST(EvalContext, RandomAcceptChainIsExactAndCountsIntervalMisses) {
+  const Instance inst = make_instance(18, 3, 404);
+  const FaultModel model{2};
+  PolicyAssignment base = greedy_initial(inst.app, inst.arch, model,
+                                         PolicySpace::kCheckpointingOnly, 8);
+  EvalContext eval(inst.app, inst.arch, model);
+  eval.rebase(base);
+
+  Rng rng(1717);
+  for (int accept = 0; accept < 12; ++accept) {
+    const ProcessId pid{static_cast<std::int32_t>(
+        rng.index(static_cast<std::size_t>(inst.app.process_count())))};
+    base.plan(pid) = random_move(inst, base, pid, model, rng);
+    const EvalContext::Outcome out = eval.rebase(base, pid);
+    EXPECT_EQ(out.makespan,
+              evaluate_wcsl(inst.app, inst.arch, base, model).makespan)
+        << "accept " << accept;
+  }
+  const EvalStats stats = eval.stats();
+  EXPECT_GT(stats.rebase_log_recorded + stats.rebase_full_builds, 0);
+  EXPECT_LE(stats.rebase_interval_mismatch, stats.rebase_full_builds)
+      << "an interval-gate miss must always fall back to a full rebuild";
+}
+
 TEST(EvalContext, EvaluateMoveWithoutRebaseThrows) {
   const Instance inst = make_instance(6, 2, 1);
   const FaultModel model{1};

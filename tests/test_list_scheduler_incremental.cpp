@@ -176,8 +176,6 @@ void expect_snapshot_identical(const ScheduleSnapshot& a,
   for (std::size_t i = 0; i < a.ready_heap.size(); ++i) {
     EXPECT_EQ(a.ready_heap[i].start, b.ready_heap[i].start)
         << "snapshot " << index << " ready " << i;
-    EXPECT_EQ(a.ready_heap[i].rank, b.ready_heap[i].rank)
-        << "snapshot " << index << " ready " << i;
     EXPECT_EQ(a.ready_heap[i].vertex, b.ready_heap[i].vertex)
         << "snapshot " << index << " ready " << i;
   }
@@ -261,6 +259,135 @@ TEST(ListSchedulerIncremental, RecordWhileResumingMatchesFromScratchLog) {
       EXPECT_GT(resumed_recordings, 0)
           << "interval " << interval
           << ": every recording degenerated to a full build";
+    }
+  }
+}
+
+// Copy-on-write sharing invariant (util/snapshot_store.h): a recording
+// resume of a layout-preserving sink move adopts the base log's prefix
+// snapshots by reference -- pointer identity, not equality.  Because the
+// store hands out shared_ptr<const ScheduleSnapshot>, nothing done to the
+// derived log afterwards -- mutating its replay vectors, clearing its
+// ties, dropping its snapshot refs, destroying it -- may change a single
+// byte of the base log's snapshots.
+TEST(ListSchedulerIncremental, SharedTailRebaseAliasesBaseSnapshots) {
+  const Instance inst = make_instance(30, 3, 77);
+  const FaultModel model{2};
+  const PolicyAssignment base = greedy_initial(
+      inst.app, inst.arch, model, PolicySpace::kCheckpointingOnly, 8);
+  ScheduleCheckpointLog log;
+  (void)list_schedule(inst.app, inst.arch, base, log);
+  ASSERT_GT(log.snapshots.size(), 1u);
+
+  // Deep copy of the base snapshots, taken before any sharing happens.
+  std::vector<ScheduleSnapshot> pristine;
+  for (const auto& ref : log.snapshots) pristine.push_back(*ref);
+
+  const ProcessId pid = inst.app.topological_order().back();
+  PolicyAssignment candidate = base;
+  candidate.plan(pid).copies[0].checkpoints =
+      candidate.plan(pid).copies[0].checkpoints == 1 ? 2 : 1;
+  ListScheduleResumeStats stats;
+  {
+    ScheduleCheckpointLog derived;
+    (void)list_schedule_resume(inst.app, inst.arch, base, log, candidate, pid,
+                               &stats, &derived);
+    ASSERT_GT(stats.snapshots_shared, 0u);
+    EXPECT_GT(stats.snapshot_bytes_shared, 0u);
+    for (std::size_t i = 0; i < stats.snapshots_shared; ++i) {
+      EXPECT_TRUE(derived.snapshots.aliases(i, log.snapshots, i))
+          << "prefix snapshot " << i << " was copied, not shared";
+    }
+    // Vandalize everything mutable about the derived log, then drop its
+    // snapshot refs and the log itself.
+    derived.avail_event.assign(derived.avail_event.size(), 0);
+    derived.placed_event.clear();
+    derived.rank.clear();
+    derived.ties.clear();
+    derived.snapshots.clear();
+  }
+  ASSERT_EQ(log.snapshots.size(), pristine.size());
+  for (std::size_t i = 0; i < pristine.size(); ++i) {
+    expect_snapshot_identical(log.snapshots[i], pristine[i], 0, i);
+  }
+}
+
+// Worst case for compounding transplant errors: EVERY move is accepted,
+// so each recording resume runs against the previous round's recorded log
+// (never a from-scratch one).  Ten consecutive accepted moves of all
+// three families must stay bit-identical -- schedule and full log -- to
+// from-scratch builds at the dense (1), default and degenerate (>= total
+// events) snapshot intervals.
+TEST(ListSchedulerIncremental, ChainedConsecutiveAcceptsStayBitIdentical) {
+  for (const int interval : {0, 1, 1 << 20}) {
+    const Instance inst = make_instance(24, 3, 2026);
+    const FaultModel model{2};
+    PolicyAssignment base = greedy_initial(inst.app, inst.arch, model,
+                                           PolicySpace::kCheckpointingOnly, 8);
+    ScheduleCheckpointLog log;
+    (void)list_schedule(inst.app, inst.arch, base, log, interval);
+
+    Rng rng(600 + static_cast<std::uint64_t>(interval));
+    for (int accept = 0; accept < 10; ++accept) {
+      const ProcessId pid{static_cast<std::int32_t>(
+          rng.index(static_cast<std::size_t>(inst.app.process_count())))};
+      PolicyAssignment candidate = base;
+      candidate.plan(pid) = random_move(inst, base, pid, model, rng);
+
+      ListScheduleResumeStats stats;
+      ScheduleCheckpointLog recorded;
+      const ListSchedule resumed =
+          list_schedule_resume(inst.app, inst.arch, base, log, candidate, pid,
+                               &stats, &recorded);
+      ScheduleCheckpointLog scratch;
+      const ListSchedule full = list_schedule(inst.app, inst.arch, candidate,
+                                              scratch, log.snapshot_interval);
+      expect_identical(resumed, full, "chained-accept", accept);
+      expect_log_identical(recorded, scratch, accept);
+
+      base = std::move(candidate);
+      log = std::move(recorded);
+    }
+  }
+}
+
+// The batched-accept path's primitive: one resume against a base log with
+// a *set* of moved processes (the multi-move overload) must be
+// bit-identical -- schedule and recorded log -- to a from-scratch build
+// of the candidate, for random move sets of all three families.
+TEST(ListSchedulerIncremental, MultiMoveResumeMatchesFullRebuild) {
+  const Instance inst = make_instance(22, 3, 909);
+  const FaultModel model{2};
+  PolicyAssignment base = greedy_initial(inst.app, inst.arch, model,
+                                         PolicySpace::kCheckpointingOnly, 8);
+  ScheduleCheckpointLog log;
+  (void)list_schedule(inst.app, inst.arch, base, log);
+
+  Rng rng(31337);
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t move_count = 2 + rng.index(2);  // 2 or 3 moved plans
+    std::vector<ProcessId> moved;
+    PolicyAssignment candidate = base;
+    for (std::size_t m = 0; m < move_count; ++m) {
+      const ProcessId pid{static_cast<std::int32_t>(
+          rng.index(static_cast<std::size_t>(inst.app.process_count())))};
+      candidate.plan(pid) = random_move(inst, base, pid, model, rng);
+      moved.push_back(pid);  // duplicates allowed: the resume dedups
+    }
+
+    ListScheduleResumeStats stats;
+    ScheduleCheckpointLog recorded;
+    const ListSchedule resumed = list_schedule_resume(
+        inst.app, inst.arch, base, log, candidate, moved, &stats, &recorded);
+    ScheduleCheckpointLog scratch;
+    const ListSchedule full = list_schedule(inst.app, inst.arch, candidate,
+                                            scratch, log.snapshot_interval);
+    expect_identical(resumed, full, "multi-move", round);
+    expect_log_identical(recorded, scratch, round);
+
+    if (round % 7 == 0) {  // occasionally accept the whole batch
+      base = std::move(candidate);
+      log = std::move(recorded);
     }
   }
 }
@@ -351,6 +478,23 @@ TEST(ListSchedulerIncremental, OptimizerCountersAreThreadCountInvariant) {
             parallel.eval_stats.rebase_cache_hits);
   EXPECT_EQ(serial.eval_stats.dp_vertices_reused,
             parallel.eval_stats.dp_vertices_reused);
+  // The accepted-move rebase path (batching, copy-on-write sharing) runs
+  // on the serial accept step, so its counters -- including raw byte
+  // counts -- must be exactly thread-count invariant too.
+  EXPECT_EQ(serial.eval_stats.rebase_log_recorded,
+            parallel.eval_stats.rebase_log_recorded);
+  EXPECT_EQ(serial.eval_stats.rebase_log_events_replayed,
+            parallel.eval_stats.rebase_log_events_replayed);
+  EXPECT_EQ(serial.eval_stats.rebase_batched,
+            parallel.eval_stats.rebase_batched);
+  EXPECT_EQ(serial.eval_stats.rebase_interval_mismatch,
+            parallel.eval_stats.rebase_interval_mismatch);
+  EXPECT_EQ(serial.eval_stats.snapshot_refs_shared,
+            parallel.eval_stats.snapshot_refs_shared);
+  EXPECT_EQ(serial.eval_stats.snapshot_bytes_copied,
+            parallel.eval_stats.snapshot_bytes_copied);
+  EXPECT_EQ(serial.eval_stats.snapshot_bytes_shared,
+            parallel.eval_stats.snapshot_bytes_shared);
   for (int i = 0; i < inst.app.process_count(); ++i) {
     EXPECT_EQ(serial.assignment.plan(ProcessId{i}),
               parallel.assignment.plan(ProcessId{i}))
